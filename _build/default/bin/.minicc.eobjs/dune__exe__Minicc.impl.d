@@ -1,0 +1,1 @@
+bin/minicc.ml: Arg Cmd Cmdliner Filename Ir List Minic Printf Term

@@ -1,0 +1,1 @@
+bin/noelle_arch.ml: Arg Cmd Cmdliner Ir Noelle Printf Term

@@ -1,0 +1,1 @@
+bin/noelle_bin.ml: Arg Buffer Cmd Cmdliner Int64 Ir List Noelle Ntools Printf Psim Term

@@ -1,0 +1,1 @@
+bin/noelle_fuzz.ml: Arg Bsuite Cmd Cmdliner Filename Ir List Minic Noelle Ntools Printf Psim String Term Unix

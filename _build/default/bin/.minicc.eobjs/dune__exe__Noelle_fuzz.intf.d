@@ -1,0 +1,1 @@
+bin/noelle_fuzz.mli:

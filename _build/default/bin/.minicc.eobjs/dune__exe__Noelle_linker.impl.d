@@ -1,0 +1,1 @@
+bin/noelle_linker.ml: Arg Cmd Cmdliner Ir List Printf Term

@@ -1,0 +1,1 @@
+bin/noelle_load.ml: Arg Cmd Cmdliner Ir List Noelle Ntools Printf String Term

@@ -1,0 +1,1 @@
+bin/noelle_meta_clean.ml: Arg Cmd Cmdliner Ir List Printf String Term

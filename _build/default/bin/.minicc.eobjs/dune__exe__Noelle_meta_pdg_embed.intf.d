@@ -1,0 +1,1 @@
+bin/noelle_meta_pdg_embed.mli:

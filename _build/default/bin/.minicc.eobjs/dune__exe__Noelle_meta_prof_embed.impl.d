@@ -1,0 +1,1 @@
+bin/noelle_meta_prof_embed.ml: Arg Cmd Cmdliner Ir Printf String Term

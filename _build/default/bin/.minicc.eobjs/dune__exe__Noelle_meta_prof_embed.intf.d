@@ -1,0 +1,1 @@
+bin/noelle_meta_prof_embed.mli:

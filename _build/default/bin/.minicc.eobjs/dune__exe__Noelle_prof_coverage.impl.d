@@ -1,0 +1,1 @@
+bin/noelle_prof_coverage.ml: Arg Cmd Cmdliner Int64 Ir Noelle Option Printf Term

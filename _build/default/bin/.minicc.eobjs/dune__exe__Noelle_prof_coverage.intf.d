@@ -1,0 +1,1 @@
+bin/noelle_prof_coverage.mli:

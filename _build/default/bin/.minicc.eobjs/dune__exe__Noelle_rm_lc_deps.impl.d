@@ -1,0 +1,1 @@
+bin/noelle_rm_lc_deps.ml: Arg Cmd Cmdliner Ir List Noelle Ntools Printf Term

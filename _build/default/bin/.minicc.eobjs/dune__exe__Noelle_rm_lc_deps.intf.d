@@ -1,0 +1,1 @@
+bin/noelle_rm_lc_deps.mli:

@@ -1,0 +1,1 @@
+bin/noelle_whole_ir.ml: Arg Cmd Cmdliner Filename Ir List Minic Printf Term

@@ -1,0 +1,1 @@
+bin/noelle_whole_ir.mli:

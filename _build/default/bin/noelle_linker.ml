@@ -1,0 +1,25 @@
+(** noelle-linker — link IR files while preserving the semantics of
+    NOELLE-generated metadata (Table 2). *)
+
+open Cmdliner
+
+let run inputs output =
+  match Ir.Linker.link ~name:"linked" (List.map Ir.Parser.parse_file inputs) with
+  | m ->
+    Ir.Verify.verify_module m;
+    Ir.Printer.to_file m output;
+    Printf.printf "noelle-linker: %d files -> %s\n" (List.length inputs) output;
+    0
+  | exception Ir.Linker.Link_error e ->
+    Printf.eprintf "noelle-linker: %s\n" e;
+    1
+
+let inputs = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILES")
+let output = Arg.(value & opt string "linked.ir" & info [ "o" ] ~docv:"OUT.ir")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-linker" ~doc:"Link IR files preserving metadata")
+    Term.(const run $ inputs $ output)
+
+let () = exit (Cmd.eval' cmd)

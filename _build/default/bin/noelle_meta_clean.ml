@@ -1,0 +1,25 @@
+(** noelle-meta-clean — strip NOELLE-generated metadata from an IR file
+    (§2.1's compilation-flow step between transformation rounds). *)
+
+open Cmdliner
+
+let run input output prefixes =
+  let m = Ir.Parser.parse_file input in
+  let prefixes = if prefixes = [] then [ "prof."; "pdg."; "arch."; "memprof." ] else prefixes in
+  List.iter (Ir.Meta.clear_prefix m.Ir.Irmod.meta) prefixes;
+  let out = match output with Some o -> o | None -> input in
+  Ir.Printer.to_file m out;
+  Printf.printf "noelle-meta-clean: %s -> %s (cleared %s)\n" input out
+    (String.concat " " prefixes);
+  0
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ir")
+let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT.ir")
+let prefixes = Arg.(value & opt_all string [] & info [ "prefix" ] ~docv:"P")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-meta-clean" ~doc:"Strip NOELLE metadata from an IR file")
+    Term.(const run $ input $ output $ prefixes)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,35 @@
+(** noelle-meta-prof-embed — embed a profile produced by
+    [noelle-prof-coverage] into an IR file as metadata (Table 2). *)
+
+open Cmdliner
+
+let run input profile output =
+  let m = Ir.Parser.parse_file input in
+  Ir.Meta.clear_prefix m.Ir.Irmod.meta "prof.";
+  let ic = open_in profile in
+  (try
+     while true do
+       let line = input_line ic in
+       match String.index_opt line '=' with
+       | Some i ->
+         Ir.Meta.set m.Ir.Irmod.meta (String.sub line 0 i)
+           (String.sub line (i + 1) (String.length line - i - 1))
+       | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  let out = match output with Some o -> o | None -> input in
+  Ir.Printer.to_file m out;
+  Printf.printf "noelle-meta-prof-embed: %s + %s -> %s\n" input profile out;
+  0
+
+let input = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ir")
+let profile = Arg.(required & pos 1 (some file) None & info [] ~docv:"PROFILE")
+let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT.ir")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-meta-prof-embed" ~doc:"Embed profile metadata into IR")
+    Term.(const run $ input $ profile $ output)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/parallelize_kernel.ml: Bsuite Int64 Ir List Noelle Ntools Option Printf Psim String

@@ -1,0 +1,1 @@
+examples/parallelize_kernel.mli:

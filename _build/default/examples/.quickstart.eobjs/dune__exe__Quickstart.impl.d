@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ir List Minic Noelle Ntools Printf

@@ -1,0 +1,1 @@
+examples/whole_pipeline.ml: Int64 Ir List Minic Noelle Ntools Printf Psim String

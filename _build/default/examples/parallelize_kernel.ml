@@ -1,0 +1,57 @@
+(** Parallelize a PARSEC-style kernel with all three techniques and
+    simulate the speedups on a 12-core machine.
+
+    Run with: [dune exec examples/parallelize_kernel.exe] *)
+
+let techniques =
+  [
+    ("DOALL",
+     fun n m ->
+       List.filter_map
+         (fun (id, r) -> match r with Ok _ -> Some id | Error _ -> None)
+         (Ntools.Doall.run n m ~ncores:12 ()));
+    ("HELIX",
+     fun n m ->
+       List.filter_map
+         (fun (id, r) -> match r with Ok _ -> Some id | Error _ -> None)
+         (Ntools.Helix.run n m ~ncores:12 ()));
+    ("DSWP",
+     fun n m ->
+       List.filter_map
+         (fun (id, r) -> match r with Ok _ -> Some id | Error _ -> None)
+         (Ntools.Dswp.run n m ()));
+  ]
+
+let () =
+  let kernels = [ "blackscholes"; "swaptions"; "ferret"; "crc32" ] in
+  List.iter
+    (fun kname ->
+      let k = Option.get (Bsuite.Kernels.find kname) in
+      Printf.printf "== %s (%s)\n" k.Bsuite.Kernels.kname
+        (Bsuite.Kernels.suite_name k.Bsuite.Kernels.suite);
+      (* sequential reference *)
+      let ref_m = Bsuite.Kernels.compile k in
+      let _, ref_out, seq_cycles =
+        Psim.Runtime.run_sequential ~fuel:k.Bsuite.Kernels.fuel ref_m
+      in
+      Printf.printf "  sequential: %Ld cycles\n" seq_cycles;
+      List.iter
+        (fun (name, apply) ->
+          let m = Bsuite.Kernels.compile k in
+          let p, _ = Noelle.Profiler.run ~fuel:k.Bsuite.Kernels.fuel m in
+          Noelle.Profiler.embed p m;
+          let n = Noelle.create m in
+          let done_ = apply n m in
+          if done_ = [] then Printf.printf "  %-6s no eligible loop\n" name
+          else begin
+            Ir.Verify.verify_module m;
+            let _, out, cycles, _ =
+              Psim.Runtime.run ~fuel:k.Bsuite.Kernels.fuel m
+            in
+            Printf.printf "  %-6s %d loops -> %Ld cycles (%.2fx)%s\n" name
+              (List.length done_) cycles
+              (Int64.to_float seq_cycles /. Int64.to_float cycles)
+              (if String.equal out ref_out then "" else "  [OUTPUT MISMATCH]")
+          end)
+        techniques)
+    kernels

@@ -1,0 +1,89 @@
+(** The full compilation flow of Figure 1, in-process: separate units ->
+    whole-IR link -> profile -> embed -> rm-lc-dependences (LICM) ->
+    re-profile -> PDG embed -> arch -> HELIX -> run on the simulator.
+
+    Run with: [dune exec examples/whole_pipeline.exe] *)
+
+let unit1 =
+  {|
+int work(int seed) {
+  int s = seed;
+  float acc = 0.0;
+  for (int i = 0; i < 30000; i++) {
+    s = s * 1103515245 + 12345;
+    int u = (s >> 16) & 16383;
+    float x = (float)u;
+    float v = 0.0;
+    for (int k = 0; k < 10; k++) {
+      v = v * 0.5 + x * 0.001 + sqrt(x + (float)k);
+    }
+    acc += floor(v);
+  }
+  print((int)acc);
+  return s;
+}
+|}
+
+let unit2 =
+  {|
+int work(int seed);
+int main() {
+  int r = work(20061204);
+  print(r & 65535);
+  return 0;
+}
+|}
+
+let compile_unit name src = Minic.Lower.compile ~name src
+
+let () =
+  (* noelle-whole-IR *)
+  let m1 = compile_unit "unit1" unit1 in
+  let m2 = compile_unit "unit2" unit2 in
+  let whole = Ir.Linker.link ~name:"whole" [ m1; m2 ] in
+  Ir.Verify.verify_module whole;
+  Printf.printf "whole-IR: %d instructions\n" (Ir.Irmod.total_insts whole);
+
+  (* noelle-prof-coverage + noelle-meta-prof-embed *)
+  let p, _ = Noelle.Profiler.run whole in
+  Noelle.Profiler.embed p whole;
+  Printf.printf "profiled: %Ld dynamic instructions\n" (Noelle.Profiler.total_insts whole);
+
+  (* noelle-rm-lc-dependences (LICM pass reduces false carried deps) *)
+  let n = Noelle.create whole in
+  let licm = Ntools.Licm.run n whole in
+  Printf.printf "rm-lc-dependences: hoisted %d\n" licm.Ntools.Licm.hoisted;
+
+  (* noelle-meta-clean + re-profile (transformed code shifted the counts) *)
+  Ir.Meta.clear_prefix whole.Ir.Irmod.meta "prof.";
+  let p, _ = Noelle.Profiler.run whole in
+  Noelle.Profiler.embed p whole;
+
+  (* noelle-meta-pdg-embed *)
+  List.iter
+    (fun f -> Noelle.Pdg.embed (Noelle.pdg n f))
+    (Ir.Irmod.defined_functions whole);
+
+  (* noelle-arch *)
+  let arch = Noelle.Arch.measure () in
+  Noelle.Arch.to_meta arch whole.Ir.Irmod.meta;
+
+  (* noelle-load + HELIX transformation *)
+  let seq_m = Ir.Parser.parse_module (Ir.Printer.module_str whole) in
+  let _, seq_out, seq_cycles = Psim.Runtime.run_sequential seq_m in
+  List.iter
+    (fun (id, r) ->
+      match r with
+      | Ok (s : Ntools.Helix.stats) ->
+        Printf.printf "HELIX %s: %d sequential segments, %d reductions\n" id
+          s.Ntools.Helix.nsegments s.Ntools.Helix.nreductions
+      | Error e -> Printf.printf "HELIX %s: skipped (%s)\n" id e)
+    (Ntools.Helix.run n whole ~ncores:12 ());
+  Ir.Verify.verify_module whole;
+
+  (* noelle-bin: run on the simulated 12-core machine *)
+  let _, out, cycles, _ = Psim.Runtime.run ~arch whole in
+  Printf.printf "sequential: %Ld cycles; parallel: %Ld cycles (%.2fx); outputs equal: %b\n"
+    seq_cycles cycles
+    (Int64.to_float seq_cycles /. Int64.to_float cycles)
+    (String.equal seq_out out)

@@ -1,0 +1,1 @@
+lib/bsuite/generator.ml: Buffer Int64 List Printf String

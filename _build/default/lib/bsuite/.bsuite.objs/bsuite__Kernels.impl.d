@@ -1,0 +1,1 @@
+lib/bsuite/kernels.ml: Ir List Minic String

@@ -1,0 +1,1 @@
+lib/core/ascc.ml: Depgraph Indvars Ir List Loopstructure Option Pdg Reduction Sccdag

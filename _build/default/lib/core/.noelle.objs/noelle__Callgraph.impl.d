@@ -1,0 +1,1 @@
+lib/core/callgraph.ml: Andersen Func Hashtbl Instr Ir Irmod Islands List

@@ -1,0 +1,1 @@
+lib/core/dfe.ml: Alias Andersen Cfg Func Hashtbl Instr Int Ir Irmod List Option Queue Set

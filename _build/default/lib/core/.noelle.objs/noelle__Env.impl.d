@@ -1,0 +1,1 @@
+lib/core/env.ml: Builder Func Instr Int64 Ir List Ty

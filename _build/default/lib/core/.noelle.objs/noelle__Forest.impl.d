@@ -1,0 +1,1 @@
+lib/core/forest.ml: Hashtbl Ir List

@@ -1,0 +1,1 @@
+lib/core/indvars.ml: Func Instr Int64 Ir List Loopnest Loopstructure Option Sccdag Scev

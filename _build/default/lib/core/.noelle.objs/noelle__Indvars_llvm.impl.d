@@ -1,0 +1,1 @@
+lib/core/indvars_llvm.ml: Func Instr Ir List Loopnest Loopstructure

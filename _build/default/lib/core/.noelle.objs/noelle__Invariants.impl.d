@@ -1,0 +1,1 @@
+lib/core/invariants.ml: Alias Depgraph Func Hashtbl Instr Ir List Loopstructure Pdg Scev

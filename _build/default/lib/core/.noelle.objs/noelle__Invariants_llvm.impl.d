@@ -1,0 +1,1 @@
+lib/core/invariants_llvm.ml: Alias Andersen Func Instr Ir Irmod List Loopstructure

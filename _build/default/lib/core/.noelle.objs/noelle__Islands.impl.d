@@ -1,0 +1,1 @@
+lib/core/islands.ml: Depgraph Hashtbl List

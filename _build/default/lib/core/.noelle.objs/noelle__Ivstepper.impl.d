@@ -1,0 +1,1 @@
+lib/core/ivstepper.ml: Builder Func Instr Ir List Printf Ty

@@ -1,0 +1,1 @@
+lib/core/loop.ml: Ascc Indvars Invariants Ir Lazy Loopstructure Pdg Sccdag

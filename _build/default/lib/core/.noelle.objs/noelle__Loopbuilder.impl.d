@@ -1,0 +1,1 @@
+lib/core/loopbuilder.ml: Builder Cfg Func Hashtbl Instr Ir Lazy List Loopnest Loopstructure Option Ty

@@ -1,0 +1,1 @@
+lib/core/loopstructure.ml: Func Instr Ir List Loopnest

@@ -1,0 +1,1 @@
+lib/core/pdg.ml: Alias Depgraph Dom Func Hashtbl Instr Ir Irmod List Loopnest Meta Option Printf Scev String

@@ -1,0 +1,1 @@
+lib/core/profiler.ml: Buffer Func Hashtbl Instr Int64 Interp Ir Irmod List Loopstructure Meta Printf

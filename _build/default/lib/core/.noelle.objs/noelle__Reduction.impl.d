@@ -1,0 +1,1 @@
+lib/core/reduction.ml: Builder Func Instr Int64 Ir List Loopnest Loopstructure Ty

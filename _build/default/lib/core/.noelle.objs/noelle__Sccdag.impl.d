@@ -1,0 +1,1 @@
+lib/core/sccdag.ml: Depgraph Hashtbl List Pdg

@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Builder Depgraph Dom Func Hashtbl Instr Ir List Loopstructure Option Pdg

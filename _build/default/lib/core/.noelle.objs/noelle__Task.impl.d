@@ -1,0 +1,1 @@
+lib/core/task.ml: Builder Env Func Instr Ir Irmod Ty

@@ -1,0 +1,88 @@
+(** Architecture description (AR, §2.2).
+
+    Describes the underlying machine: logical/physical cores, NUMA nodes,
+    and measured core-to-core latencies and bandwidths.  The paper's
+    [noelle-arch] tool measures these on real hardware (via hwloc and
+    micro-benchmarks); in this reproduction the "measurement" synthesizes a
+    deterministic model of the paper's evaluation platform (a 12-core Xeon
+    E5-2695v3 with one NUMA node per 12 cores and 2-way SMT), which is the
+    machine [lib/psim] simulates. *)
+
+type t = {
+  physical_cores : int;
+  logical_per_physical : int;
+  numa_nodes : int;
+  latency : int array array;     (** core-to-core latency, cycles *)
+  bandwidth : float array array; (** words per cycle between cores *)
+}
+
+let num_cores (t : t) = t.physical_cores
+
+(** "Measure" the platform.  Latencies follow the usual topology shape:
+    same core (SMT) < same NUMA node < cross-node. *)
+let measure ?(physical_cores = 12) ?(numa_nodes = 1) () : t =
+  let cores_per_node = max 1 (physical_cores / max 1 numa_nodes) in
+  let node_of c = c / cores_per_node in
+  let latency =
+    Array.init physical_cores (fun i ->
+        Array.init physical_cores (fun j ->
+            if i = j then 0
+            else if node_of i = node_of j then 60   (* shared LLC *)
+            else 140 (* QPI hop *)))
+  in
+  let bandwidth =
+    Array.init physical_cores (fun i ->
+        Array.init physical_cores (fun j ->
+            if i = j then 8.0 else if node_of i = node_of j then 2.0 else 0.8))
+  in
+  { physical_cores; logical_per_physical = 2; numa_nodes; latency; bandwidth }
+
+let latency_between (t : t) i j =
+  t.latency.(i mod t.physical_cores).(j mod t.physical_cores)
+
+(** Worst-case latency between distinct cores — the cost HELIX pays per
+    sequential-segment hand-off. *)
+let max_latency (t : t) =
+  Array.fold_left
+    (fun acc row -> Array.fold_left max acc row)
+    0 t.latency
+
+(** Average latency between distinct cores. *)
+let avg_latency (t : t) =
+  let n = t.physical_cores in
+  if n <= 1 then 0.0
+  else begin
+    let sum = ref 0 in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j then sum := !sum + t.latency.(i).(j)
+      done
+    done;
+    float_of_int !sum /. float_of_int (n * (n - 1))
+  end
+
+(* metadata serialization for the noelle-arch tool *)
+
+let to_meta (t : t) (meta : Ir.Meta.t) =
+  Ir.Meta.set_int meta "arch.cores" t.physical_cores;
+  Ir.Meta.set_int meta "arch.smt" t.logical_per_physical;
+  Ir.Meta.set_int meta "arch.numa" t.numa_nodes;
+  for i = 0 to t.physical_cores - 1 do
+    for j = 0 to t.physical_cores - 1 do
+      Ir.Meta.set_int meta (Printf.sprintf "arch.lat.%d.%d" i j) t.latency.(i).(j)
+    done
+  done
+
+let of_meta (meta : Ir.Meta.t) : t option =
+  match Ir.Meta.get_int meta "arch.cores" with
+  | None -> None
+  | Some cores ->
+    let t = measure ~physical_cores:cores () in
+    let latency =
+      Array.init cores (fun i ->
+          Array.init cores (fun j ->
+              Option.value
+                (Ir.Meta.get_int meta (Printf.sprintf "arch.lat.%d.%d" i j))
+                ~default:t.latency.(i).(j)))
+    in
+    Some { t with latency }

@@ -1,0 +1,62 @@
+(** Baseline induction-variable detection with LLVM's limitations.
+
+    §4.3: "LLVM's induction variable analysis expects the input IR to have
+    loops in the do-while shape ... LLVM identifies only a few loop
+    induction variables (11 total) ... NOELLE identifies many (385)".
+    This module reproduces the baseline side of that comparison: it only
+    recognizes an induction variable when
+
+    - the loop is in do-while shape (the exit test is in the latch), and
+    - the variable is a header phi whose update is an add of a constant
+      located in the latch block (the canonical rotated-loop pattern LLVM's
+      low-level def-use matching expects).
+
+    The governing IV is then only found when the latch comparison directly
+    tests that phi's update against a constant. *)
+
+open Ir
+
+(** Detect (phi, update) pairs the baseline recognizes, and whether each
+    governs the loop. *)
+let analyze (ls : Loopstructure.t) : (Instr.inst * bool) list =
+  let f = ls.Loopstructure.f in
+  let l = ls.Loopstructure.raw in
+  if Loopstructure.shape ls <> Loopstructure.Do_while_shape then []
+  else
+    let latches = ls.Loopstructure.latches in
+    List.filter_map
+      (fun (phi : Instr.inst) ->
+        match phi.Instr.op with
+        | Instr.Phi incs -> (
+          let inside =
+            List.filter (fun (p, _) -> Loopnest.contains l p) incs
+          in
+          match inside with
+          | [ (_, Instr.Reg upd_id) ] -> (
+            match Func.inst_opt f upd_id with
+            | Some { Instr.op = Instr.Bin (Instr.Add, a, Instr.Cint _); _ }
+              when Instr.value_equal a (Instr.Reg phi.Instr.id) ->
+              (* governing: the latch terminator's comparison must test the
+                 update against a constant *)
+              let governs =
+                List.exists
+                  (fun latch ->
+                    match Func.terminator f latch with
+                    | Some { Instr.op = Instr.Cbr (Instr.Reg c, _, _); _ } -> (
+                      match Func.inst_opt f c with
+                      | Some { Instr.op = Instr.Icmp (_, x, Instr.Cint _); _ } ->
+                        Instr.value_equal x (Instr.Reg upd_id)
+                        || Instr.value_equal x (Instr.Reg phi.Instr.id)
+                      | _ -> false)
+                    | _ -> false)
+                  latches
+              in
+              Some (phi, governs)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+      (Loopstructure.header_phis ls)
+
+(** Number of governing IVs the baseline finds in this loop (0 or 1). *)
+let governing_count (ls : Loopstructure.t) =
+  if List.exists snd (analyze ls) then 1 else 0

@@ -1,0 +1,55 @@
+(** Baseline loop-invariant detection (Algorithm 1 of the paper).
+
+    Reproduces the simplified logic of LLVM's implementation, which relies
+    on the low-level abstractions (operands, alias queries, dominators)
+    instead of the PDG.  Its two sources of imprecision, both visible in
+    Figure 4:
+
+    - an instruction with an operand {e defined inside the loop} is
+      rejected outright, so chains of invariants are missed;
+    - loads are rejected whenever {e any} instruction in the loop may
+      modify memory the baseline alias analysis cannot disambiguate. *)
+
+open Ir
+
+let is_invariant (m : Irmod.t) (ls : Loopstructure.t) (i : Instr.inst) : bool =
+  let f = ls.Loopstructure.f in
+  let stack = Andersen.baseline_stack in
+  let in_loop_value v =
+    match v with
+    | Instr.Reg r -> (
+      match Func.inst_opt f r with
+      | Some d -> Loopstructure.contains_inst ls d
+      | None -> false)
+    | _ -> false
+  in
+  let loop_insts = Loopstructure.insts ls in
+  match i.Instr.op with
+  | Instr.Phi _ | Instr.Br _ | Instr.Cbr _ | Instr.Ret _ | Instr.Unreachable
+  | Instr.Alloca _ -> false
+  | op when List.exists in_loop_value (Instr.operands op) -> false
+  | Instr.Load _ ->
+    (* no instruction of L may modify the location *)
+    not
+      (List.exists
+         (fun (j : Instr.inst) ->
+           j.Instr.id <> i.Instr.id
+           && (match j.Instr.op with
+              | Instr.Store _ | Instr.Call _ -> Alias.may_conflict stack m f i j
+              | _ -> false))
+         loop_insts)
+  | Instr.Store _ ->
+    (* Algorithm 1 requires no memory use to precede the store AND the
+       nearest dominating memory access to be outside L; the latter check
+       conservatively fails for a store inside a loop *)
+    false
+  | Instr.Call (callee, _) ->
+    (* only calls that cannot modify memory qualify *)
+    Alias.is_pure_builtin callee
+  | _ -> true
+
+(** The invariants of loop [ls] per the baseline algorithm. *)
+let compute (m : Irmod.t) (ls : Loopstructure.t) : Instr.inst list =
+  List.filter (is_invariant m ls) (Loopstructure.insts ls)
+
+let count (m : Irmod.t) (ls : Loopstructure.t) = List.length (compute m ls)

@@ -1,0 +1,40 @@
+(** Islands (ISL, §2.2): identify the disconnected sub-graphs of a graph.
+
+    Generic over the node type; used on the call graph (dead-function
+    elimination of whole unreachable components) and on the PDG
+    (Time-Squeezer analyses independent compare clusters per island). *)
+
+(** Connected components of an undirected graph given by [nodes] and a
+    [neighbors] function.  Deterministic: components and their members are
+    in first-seen order. *)
+let find : 'a. nodes:'a list -> neighbors:('a -> 'a list) -> 'a list list =
+ fun ~nodes ~neighbors ->
+  let seen = Hashtbl.create 64 in
+  let out = ref [] in
+  List.iter
+    (fun n ->
+      if not (Hashtbl.mem seen n) then begin
+        let comp = ref [] in
+        let stack = ref [ n ] in
+        while !stack <> [] do
+          let x = List.hd !stack in
+          stack := List.tl !stack;
+          if not (Hashtbl.mem seen x) then begin
+            Hashtbl.replace seen x ();
+            comp := x :: !comp;
+            List.iter (fun y -> if not (Hashtbl.mem seen y) then stack := y :: !stack)
+              (neighbors x)
+          end
+        done;
+        out := List.rev !comp :: !out
+      end)
+    nodes;
+  List.rev !out
+
+(** Islands of a {!Depgraph} (edges treated as undirected). *)
+let of_depgraph (g : Depgraph.t) : int list list =
+  let neighbors n =
+    List.map (fun (e : Depgraph.edge) -> e.Depgraph.edst) (Depgraph.succs g n)
+    @ List.map (fun (e : Depgraph.edge) -> e.Depgraph.esrc) (Depgraph.preds g n)
+  in
+  find ~nodes:(List.rev g.Depgraph.nodes) ~neighbors

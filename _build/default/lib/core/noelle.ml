@@ -1,0 +1,215 @@
+(** The demand-driven abstraction manager (§2.1, §2.2).
+
+    [Noelle.t] is what [noelle-load] places in memory: a handle through
+    which custom tools request abstractions.  Each abstraction is computed
+    on first request and cached ("users only pay for the abstractions they
+    need"), and every request is logged per tool — the logs regenerate the
+    paper's Table 4 usage matrix from measurements instead of hand
+    bookkeeping.
+
+    Tools set their identity with {!set_tool}; every accessor records
+    (tool, abstraction) into {!usage}. *)
+
+(* Re-export every abstraction so that [Noelle.X] is the public path
+   (this file doubles as the library's root module). *)
+module Depgraph = Depgraph
+module Pdg = Pdg
+module Sccdag = Sccdag
+module Ascc = Ascc
+module Callgraph = Callgraph
+module Env = Env
+module Task = Task
+module Dfe = Dfe
+module Loopstructure = Loopstructure
+module Invariants = Invariants
+module Invariants_llvm = Invariants_llvm
+module Indvars = Indvars
+module Indvars_llvm = Indvars_llvm
+module Ivstepper = Ivstepper
+module Reduction = Reduction
+module Loop = Loop
+module Forest = Forest
+module Loopbuilder = Loopbuilder
+module Scheduler = Scheduler
+module Islands = Islands
+module Arch = Arch
+module Profiler = Profiler
+
+open Ir
+
+type t = {
+  m : Irmod.t;
+  mutable tool : string;
+  usage : (string * string, unit) Hashtbl.t;    (** (tool, abstraction) *)
+  mutable use_noelle_aa : bool;                 (** full stack vs baseline *)
+  mutable andersen : Andersen.t option;
+  pdgs : (string, Pdg.t) Hashtbl.t;
+  nests : (string, Loopnest.t) Hashtbl.t;
+  mutable cg : Callgraph.t option;
+  mutable arch_ : Arch.t option;
+}
+
+let create ?(use_noelle_aa = true) (m : Irmod.t) : t =
+  {
+    m;
+    tool = "?";
+    usage = Hashtbl.create 64;
+    use_noelle_aa;
+    andersen = None;
+    pdgs = Hashtbl.create 16;
+    nests = Hashtbl.create 16;
+    cg = None;
+    arch_ = None;
+  }
+
+(** Set the name of the tool issuing subsequent requests (Table 4 rows). *)
+let set_tool (t : t) name = t.tool <- name
+
+let record (t : t) abstraction = Hashtbl.replace t.usage (t.tool, abstraction) ()
+
+(** All (tool, abstraction) pairs observed so far, sorted. *)
+let usage_pairs (t : t) =
+  Hashtbl.fold (fun k () acc -> k :: acc) t.usage []
+  |> List.sort compare
+
+(** Invalidate cached analyses after a transformation mutated the module. *)
+let invalidate (t : t) =
+  t.andersen <- None;
+  Hashtbl.reset t.pdgs;
+  Hashtbl.reset t.nests;
+  t.cg <- None
+
+let andersen (t : t) =
+  match t.andersen with
+  | Some a -> a
+  | None ->
+    let a = Andersen.analyze t.m in
+    t.andersen <- Some a;
+    a
+
+(** The alias stack powering the PDG (modular: baseline, then Andersen). *)
+let alias_stack (t : t) : Alias.stack =
+  if t.use_noelle_aa then [ Alias.baseline; Andersen.analysis (andersen t) ]
+  else [ Alias.baseline ]
+
+(** The PDG of function [f] (demand-driven, cached).  If the module carries
+    an embedded PDG (noelle-meta-pdg-embed), it is reloaded instead of
+    recomputed. *)
+let pdg (t : t) (f : Func.t) : Pdg.t =
+  record t "PDG";
+  match Hashtbl.find_opt t.pdgs f.Func.fname with
+  | Some p -> p
+  | None ->
+    let p =
+      match Pdg.of_embedded t.m f with
+      | Some p -> p
+      | None -> Pdg.build ~stack:(alias_stack t) t.m f
+    in
+    Hashtbl.replace t.pdgs f.Func.fname p;
+    p
+
+(** Raw natural-loop information of [f] (cached). *)
+let loopnest (t : t) (f : Func.t) : Loopnest.t =
+  match Hashtbl.find_opt t.nests f.Func.fname with
+  | Some n -> n
+  | None ->
+    let n = Loopnest.compute f in
+    Hashtbl.replace t.nests f.Func.fname n;
+    n
+
+(** Loop structures (LS) of every loop in [f]. *)
+let loop_structures (t : t) (f : Func.t) : Loopstructure.t list =
+  record t "LS";
+  List.map (Loopstructure.of_loop f) (loopnest t f).Loopnest.loops
+
+(** Canonical loops (L) of [f], everything beyond LS computed lazily. *)
+let loops (t : t) (f : Func.t) : Loop.t list =
+  record t "L";
+  let p = pdg t f in
+  List.map (Loop.make p) (loop_structures t f)
+
+(** The loop-nesting forest of [f] (FR). *)
+let loop_forest (t : t) (f : Func.t) =
+  record t "FR";
+  Forest.of_loopnest (loopnest t f)
+
+(** The complete program call graph (CG). *)
+let callgraph (t : t) : Callgraph.t =
+  record t "CG";
+  match t.cg with
+  | Some cg -> cg
+  | None ->
+    let cg = Callgraph.build ~pts:(andersen t) t.m in
+    t.cg <- Some cg;
+    cg
+
+(** The architecture description (AR), from embedded metadata when the
+    noelle-arch tool ran, else measured. *)
+let arch (t : t) : Arch.t =
+  record t "AR";
+  match t.arch_ with
+  | Some a -> a
+  | None ->
+    let a =
+      match Arch.of_meta t.m.Irmod.meta with
+      | Some a -> a
+      | None -> Arch.measure ()
+    in
+    t.arch_ <- Some a;
+    a
+
+(* thin logged handles for the abstractions that are pure modules *)
+
+let aSCCDAG (t : t) (l : Loop.t) =
+  record t "aSCCDAG";
+  Loop.ascc l
+
+let scc_dag (t : t) (l : Loop.t) =
+  record t "aSCCDAG";
+  Loop.sccdag l
+
+let invariants (t : t) (l : Loop.t) =
+  record t "INV";
+  Loop.invariants l
+
+let induction_variables (t : t) (l : Loop.t) =
+  record t "IV";
+  Loop.induction_variables l
+
+let reductions (t : t) (l : Loop.t) =
+  record t "RD";
+  Loop.reductions l
+
+let scheduler (t : t) (f : Func.t) =
+  record t "SCD";
+  Scheduler.create (pdg t f)
+
+(** Access to the data-flow engine (logged); returns the module functions
+    through a unit handle — call {!Dfe.solve} etc. after this. *)
+let dfe (t : t) =
+  record t "DFE";
+  ()
+
+let loop_builder (t : t) =
+  record t "LB";
+  ()
+
+let iv_stepper (t : t) =
+  record t "IVS";
+  ()
+
+let environment (t : t) =
+  record t "ENV";
+  ()
+
+let task (t : t) =
+  record t "T";
+  ()
+
+let islands (t : t) =
+  record t "ISL";
+  ()
+
+let profiler (t : t) =
+  record t "PRO";
+  ()

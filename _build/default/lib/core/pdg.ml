@@ -1,0 +1,410 @@
+(** The Program Dependence Graph abstraction (§2.2 "PDG").
+
+    Nodes are instruction ids of a function; edges carry control/data
+    attributes per {!Depgraph}.  The PDG is powered by the modular alias
+    stack ({!Ir.Alias}, {!Ir.Andersen}): building with the baseline stack
+    reproduces LLVM-precision dependences, building with the NOELLE stack
+    adds the state-of-the-art disprovals measured in Figure 3.
+
+    From a function PDG a pass can request a {e loop dependence graph}
+    ({!loop_dg}): the subgraph for one loop with external live-in/live-out
+    nodes, refined with loop-centric analyses (SCEV-based address
+    disambiguation and loop-carried classification). *)
+
+open Ir
+
+type t = {
+  fdg : Depgraph.t;            (** whole-function dependence graph *)
+  f : Func.t;
+  m : Irmod.t;
+  stack : Alias.stack;
+  (* statistics for the Figure 3 experiment *)
+  mem_pairs_total : int;       (** candidate memory-dependence queries *)
+  mem_pairs_disproved : int;   (** queries answered "no dependence" *)
+}
+
+(** Build the dependence graph of function [f] using alias stack [stack]. *)
+let build ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t) : t =
+  let g = Depgraph.create () in
+  Func.iter_insts (fun i -> Depgraph.add_node g i.Instr.id) f;
+  (* register dependences (SSA def-use): always must, RAW *)
+  Func.iter_insts
+    (fun i ->
+      List.iter
+        (function
+          | Instr.Reg r ->
+            ignore (Depgraph.add_edge g ~must:true ~kind:(Depgraph.Register Depgraph.RAW) r i.Instr.id)
+          | _ -> ())
+        (Instr.operands i.Instr.op))
+    f;
+  (* control dependences via the postdominator tree: for each CFG edge
+     (a,b), every block on the postdom-tree path from b (inclusive) to
+     ipostdom(a) (exclusive) is control-dependent on a's terminator *)
+  let pdt = Dom.compute_post f in
+  let dep_blocks = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          let stop = Hashtbl.find_opt pdt.Dom.idom a in
+          let x = ref b in
+          let continue_ = ref true in
+          while !continue_ do
+            if Some !x = stop then continue_ := false
+            else begin
+              let cur = try Hashtbl.find dep_blocks a with Not_found -> [] in
+              if not (List.mem !x cur) then Hashtbl.replace dep_blocks a (!x :: cur);
+              match Hashtbl.find_opt pdt.Dom.idom !x with
+              | Some up when up <> !x -> x := up
+              | _ -> continue_ := false
+            end
+          done)
+        (Func.successors f a))
+    f.Func.blocks;
+  Hashtbl.iter
+    (fun a xs ->
+      match Func.terminator f a with
+      | None -> ()
+      | Some t ->
+        List.iter
+          (fun x ->
+            if x >= 0 && Hashtbl.mem f.Func.blks x then
+              List.iter
+                (fun (i : Instr.inst) ->
+                  ignore
+                    (Depgraph.add_edge g ~must:true ~kind:Depgraph.Control t.Instr.id
+                       i.Instr.id))
+                (Func.insts_of_block f x))
+          xs)
+    dep_blocks;
+  (* memory dependences: pairwise over memory instructions *)
+  let mems =
+    Func.fold_insts
+      (fun acc i -> if Instr.is_memory_op i.Instr.op then i :: acc else acc)
+      [] f
+    |> List.rev
+  in
+  let writes (i : Instr.inst) =
+    match i.Instr.op with
+    | Instr.Store _ -> true
+    | Instr.Call _ -> true (* conservatively both reads and writes *)
+    | _ -> false
+  in
+  let reads (i : Instr.inst) =
+    match i.Instr.op with
+    | Instr.Load _ -> true
+    | Instr.Call _ -> true
+    | _ -> false
+  in
+  let total = ref 0 and disproved = ref 0 in
+  (* self dependences: a writing instruction may conflict with its own
+     dynamic instances across iterations (e.g. a store whose address is
+     not analyzable); the loop refinement later drops the self edge when
+     SCEV proves per-iteration addresses distinct *)
+  List.iter
+    (fun (a : Instr.inst) ->
+      if writes a then begin
+        incr total;
+        if not (Alias.may_conflict stack m f a a) then incr disproved
+        else
+          ignore
+            (Depgraph.add_edge g ~kind:(Depgraph.Memory Depgraph.WAW) a.Instr.id
+               a.Instr.id)
+      end)
+    mems;
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+      List.iter
+        (fun b ->
+          if writes a || writes b then begin
+            incr total;
+            if not (Alias.may_conflict stack m f a b) then incr disproved
+            else begin
+              (* direction: program order is not tracked flow-sensitively;
+                 emit both directions with the appropriate sorts, which is
+                 what a flow-insensitive PDG needs for SCC reasoning *)
+              let emit src dst sort =
+                ignore (Depgraph.add_edge g ~kind:(Depgraph.Memory sort) src dst)
+              in
+              match (writes a, writes b) with
+              | true, true ->
+                emit a.Instr.id b.Instr.id Depgraph.WAW;
+                emit b.Instr.id a.Instr.id Depgraph.WAW;
+                if reads a || reads b then begin
+                  emit a.Instr.id b.Instr.id Depgraph.RAW;
+                  emit b.Instr.id a.Instr.id Depgraph.RAW
+                end
+              | true, false ->
+                emit a.Instr.id b.Instr.id Depgraph.RAW;
+                emit b.Instr.id a.Instr.id Depgraph.WAR
+              | false, true ->
+                emit b.Instr.id a.Instr.id Depgraph.RAW;
+                emit a.Instr.id b.Instr.id Depgraph.WAR
+              | false, false -> ()
+            end
+          end)
+        rest;
+      pairs rest
+  in
+  pairs mems;
+  {
+    fdg = g;
+    f;
+    m;
+    stack;
+    mem_pairs_total = !total;
+    mem_pairs_disproved = !disproved;
+  }
+
+(** Fraction of candidate memory dependences disproved (Figure 3 metric). *)
+let disproval_rate (t : t) =
+  if t.mem_pairs_total = 0 then 1.0
+  else float_of_int t.mem_pairs_disproved /. float_of_int t.mem_pairs_total
+
+(* ------------------------------------------------------------------ *)
+(* Loop dependence graphs                                              *)
+(* ------------------------------------------------------------------ *)
+
+type loop_dg = {
+  ldg : Depgraph.t;            (** loop graph: internal = loop instructions *)
+  loop : Loopnest.loop;
+  pdg : t;
+}
+
+(** Find the phi of the loop header that looks like the primary induction
+    sequence for SCEV refinement (first header phi with an add/sub update
+    inside the loop). *)
+let refinement_phi (f : Func.t) (l : Loopnest.loop) =
+  let header_phis =
+    List.filter
+      (fun (i : Instr.inst) -> match i.Instr.op with Instr.Phi _ -> true | _ -> false)
+      (Func.insts_of_block f l.Loopnest.header)
+  in
+  List.find_opt
+    (fun (p : Instr.inst) ->
+      match p.Instr.op with
+      | Instr.Phi incs ->
+        List.exists
+          (fun (_, v) ->
+            match v with
+            | Instr.Reg r -> (
+              match Func.inst_opt f r with
+              | Some { Instr.op = Instr.Bin ((Instr.Add | Instr.Sub), _, _); parent; _ } ->
+                Loopnest.contains l parent
+              | _ -> false)
+            | _ -> false)
+          incs
+      | _ -> false)
+    header_phis
+
+(** Build the dependence graph of loop [l], refining memory dependences
+    with loop-centric analyses exactly when the graph is requested (the
+    demand-driven refinement of §2.2). *)
+let loop_dg (t : t) (l : Loopnest.loop) : loop_dg =
+  let f = t.f in
+  let in_loop id =
+    match Func.inst_opt f id with
+    | Some i -> Loopnest.contains l i.Instr.parent
+    | None -> false
+  in
+  let g = Depgraph.slice t.fdg ~keep:in_loop in
+  let iv_phi = refinement_phi f l in
+  (* inner-loop phis with bounded spans become extra address symbols, so
+     the outer loops of nested kernels (c[i*N+j]) can be disambiguated *)
+  let nest = Loopnest.compute f in
+  let inner_syms =
+    List.concat_map
+      (fun (sl : Loopnest.loop) ->
+        if sl.Loopnest.header <> l.Loopnest.header
+           && Loopnest.contains l sl.Loopnest.header
+        then
+          List.filter_map
+            (fun (i : Instr.inst) ->
+              match i.Instr.op with
+              | Instr.Phi _ ->
+                Option.map (fun span -> (i.Instr.id, span)) (Scev.phi_span f nest i)
+              | _ -> None)
+            (Func.insts_of_block f sl.Loopnest.header)
+        else [])
+      nest.Loopnest.loops
+  in
+  let symbols =
+    (match iv_phi with Some p -> [ p.Instr.id ] | None -> [])
+    @ List.map fst inner_syms
+  in
+  (* classify / refine every edge *)
+  let keep (e : Depgraph.edge) =
+    match e.Depgraph.kind with
+    | Depgraph.Control ->
+      e.Depgraph.loop_carried <- false;
+      true
+    | Depgraph.Register _ ->
+      (* a register dep is loop-carried iff it feeds a header phi from
+         inside the loop (the back-edge value) *)
+      let carried =
+        Depgraph.is_internal g e.Depgraph.esrc
+        &&
+        match Func.inst_opt f e.Depgraph.edst with
+        | Some { Instr.op = Instr.Phi _; parent; _ } -> parent = l.Loopnest.header
+        | _ -> false
+      in
+      e.Depgraph.loop_carried <- carried;
+      true
+    | Depgraph.Memory _ -> (
+      if not (Depgraph.is_internal g e.Depgraph.esrc && Depgraph.is_internal g e.Depgraph.edst)
+      then begin
+        e.Depgraph.loop_carried <- false;
+        true
+      end
+      else
+        let addr_of id =
+          Option.bind (Func.inst_opt f id) Alias.pointer_operand
+        in
+        match (iv_phi, addr_of e.Depgraph.esrc, addr_of e.Depgraph.edst) with
+        | Some phi, Some p1, Some p2 -> (
+          let a1 = Scev.poly_of f l ~symbols p1 in
+          let a2 = Scev.poly_of f l ~symbols p2 in
+          match (a1, a2) with
+          | Some a1, Some a2 -> (
+            match
+              Scev.classify_pair ~outer:phi.Instr.id ~spans:inner_syms a1 a2
+            with
+            | `No_dep -> false (* fully disproved: drop edge *)
+            | `Intra ->
+              e.Depgraph.loop_carried <- false;
+              true
+            | `Unknown ->
+              e.Depgraph.loop_carried <- true;
+              true)
+          | _ ->
+            e.Depgraph.loop_carried <- true;
+            true)
+        | _ ->
+          e.Depgraph.loop_carried <- true;
+          true)
+  in
+  Depgraph.filter_edges g ~keep_edge:keep;
+  { ldg = g; loop = l; pdg = t }
+
+(** Live-in values of loop [l]: values defined outside (or arguments /
+    globals / constants are excluded — only SSA registers and arguments
+    count) used inside. *)
+let live_ins (t : t) (l : Loopnest.loop) : Instr.value list =
+  let f = t.f in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun (i : Instr.inst) ->
+      List.iter
+        (fun v ->
+          let key =
+            match v with
+            | Instr.Reg r -> (
+              match Func.inst_opt f r with
+              | Some d when not (Loopnest.contains l d.Instr.parent) -> Some v
+              | _ -> None)
+            | Instr.Arg _ -> Some v
+            | _ -> None
+          in
+          match key with
+          | Some v when not (Hashtbl.mem seen v) ->
+            Hashtbl.replace seen v ();
+            out := v :: !out
+          | _ -> ())
+        (Instr.operands i.Instr.op))
+    (Loopnest.insts f l);
+  List.rev !out
+
+(** Live-out registers of loop [l]: instructions defined inside the loop
+    and used outside it. *)
+let live_outs (t : t) (l : Loopnest.loop) : int list =
+  let f = t.f in
+  let out = ref [] in
+  Func.iter_insts
+    (fun (user : Instr.inst) ->
+      if not (Loopnest.contains l user.Instr.parent) then
+        List.iter
+          (function
+            | Instr.Reg r -> (
+              match Func.inst_opt f r with
+              | Some d when Loopnest.contains l d.Instr.parent ->
+                if not (List.mem r !out) then out := r :: !out
+              | _ -> ())
+            | _ -> ())
+          (Instr.operands user.Instr.op))
+    f;
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Metadata embedding (noelle-meta-pdg-embed)                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Embed the dependence edges of [t] as module metadata so they can be
+    reloaded without re-running the alias analyses. *)
+let embed (t : t) =
+  let meta = t.m.Irmod.meta in
+  Meta.clear_prefix meta (Printf.sprintf "pdg.%s." t.f.Func.fname);
+  let n = ref 0 in
+  List.iter
+    (fun (e : Depgraph.edge) ->
+      Meta.set meta
+        (Printf.sprintf "pdg.%s.%d" t.f.Func.fname !n)
+        (Printf.sprintf "%d %d %s %b" e.Depgraph.esrc e.Depgraph.edst
+           (Depgraph.kind_to_string e.Depgraph.kind)
+           e.Depgraph.must);
+      incr n)
+    (Depgraph.edges t.fdg);
+  Meta.set meta
+    (Printf.sprintf "pdg.%s.count" t.f.Func.fname)
+    (string_of_int !n);
+  Meta.set meta
+    (Printf.sprintf "pdg.%s.stats" t.f.Func.fname)
+    (Printf.sprintf "%d %d" t.mem_pairs_total t.mem_pairs_disproved)
+
+(** Reconstruct a PDG from embedded metadata; [None] if absent. *)
+let of_embedded (m : Irmod.t) (f : Func.t) : t option =
+  let meta = m.Irmod.meta in
+  match Meta.get_int meta (Printf.sprintf "pdg.%s.count" f.Func.fname) with
+  | None -> None
+  | Some n ->
+    let g = Depgraph.create () in
+    Func.iter_insts (fun i -> Depgraph.add_node g i.Instr.id) f;
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      match Meta.get meta (Printf.sprintf "pdg.%s.%d" f.Func.fname k) with
+      | None -> ok := false
+      | Some line -> (
+        match String.split_on_char ' ' line with
+        | [ s; d; kind; must ] -> (
+          match
+            (int_of_string_opt s, int_of_string_opt d, Depgraph.kind_of_string kind,
+             bool_of_string_opt must)
+          with
+          | Some s, Some d, Some kind, Some must ->
+            ignore (Depgraph.add_edge g ~must ~kind s d)
+          | _ -> ok := false)
+        | _ -> ok := false)
+    done;
+    if not !ok then None
+    else
+      let total, disproved =
+        match Meta.get meta (Printf.sprintf "pdg.%s.stats" f.Func.fname) with
+        | Some s -> (
+          match String.split_on_char ' ' s with
+          | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some a, Some b -> (a, b)
+            | _ -> (0, 0))
+          | _ -> (0, 0))
+        | None -> (0, 0)
+      in
+      Some
+        {
+          fdg = g;
+          f;
+          m;
+          stack = [ Alias.baseline ];
+          mem_pairs_total = total;
+          mem_pairs_disproved = disproved;
+        }

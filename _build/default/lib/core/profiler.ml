@@ -1,0 +1,166 @@
+(** Profilers and profile queries (PRO, §2.2; noelle-prof-coverage /
+    noelle-meta-prof-embed).
+
+    NOELLE ships an instruction profiler, a branch profiler, and a loop
+    profiler, embeds their results into the IR file as metadata, and
+    offers high-level queries (hotness of a code region, loop iteration
+    counts, function invocation counts).  Here the profilers hook the IR
+    interpreter; the queries read the embedded metadata, so they work on a
+    freshly parsed module exactly as in the paper's pipeline. *)
+
+open Ir
+
+type t = {
+  block_counts : (string * string, int64) Hashtbl.t;
+      (** (function, block label) -> executions *)
+  edge_counts : (string * int * string, int64) Hashtbl.t;
+      (** (function, branch inst id, target label) -> taken count *)
+  fn_insts : (string, int64) Hashtbl.t;    (** dynamic instructions per fn *)
+  fn_calls : (string, int64) Hashtbl.t;    (** invocations per fn *)
+  call_pair : (string * string, int64) Hashtbl.t;  (** caller/callee counts *)
+  mutable total_insts : int64;
+}
+
+let fresh () =
+  {
+    block_counts = Hashtbl.create 64;
+    edge_counts = Hashtbl.create 64;
+    fn_insts = Hashtbl.create 16;
+    fn_calls = Hashtbl.create 16;
+    call_pair = Hashtbl.create 16;
+    total_insts = 0L;
+  }
+
+let bump tbl key by =
+  Hashtbl.replace tbl key (Int64.add by (try Hashtbl.find tbl key with Not_found -> 0L))
+
+(** Run the program under the instruction/branch/loop profilers.
+    Returns the profile and the program output. *)
+let run ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) : t * string =
+  let p = fresh () in
+  let pending_branch = ref None in
+  let configure (st : Interp.state) =
+    st.Interp.hooks.Interp.on_block <-
+      Some
+        (fun f bid ->
+          let lbl = (Func.block f bid).Func.label in
+          bump p.block_counts (f.Func.fname, lbl) 1L;
+          (match !pending_branch with
+          | Some (fn, iid) when fn = f.Func.fname ->
+            bump p.edge_counts (fn, iid, lbl) 1L
+          | _ -> ());
+          pending_branch := None);
+    st.Interp.hooks.Interp.on_inst <-
+      Some
+        (fun f i ->
+          p.total_insts <- Int64.add p.total_insts 1L;
+          bump p.fn_insts f.Func.fname 1L;
+          match i.Instr.op with
+          | Instr.Cbr _ -> pending_branch := Some (f.Func.fname, i.Instr.id)
+          | _ -> pending_branch := None);
+    st.Interp.hooks.Interp.on_call <-
+      Some
+        (fun ~caller ~callee ->
+          bump p.fn_calls callee 1L;
+          bump p.call_pair (caller, callee) 1L)
+  in
+  let _, st = Interp.run_state ~entry ~args ?fuel ~configure m in
+  (p, Buffer.contents st.Interp.output)
+
+(* ------------------------------------------------------------------ *)
+(* Embedding (noelle-meta-prof-embed) and queries                      *)
+(* ------------------------------------------------------------------ *)
+
+let embed (p : t) (m : Irmod.t) =
+  let meta = m.Irmod.meta in
+  Meta.clear_prefix meta "prof.";
+  Hashtbl.iter
+    (fun (fn, lbl) c ->
+      Meta.set meta (Printf.sprintf "prof.block.%s.%s" fn lbl) (Int64.to_string c))
+    p.block_counts;
+  Hashtbl.iter
+    (fun (fn, iid, lbl) c ->
+      Meta.set meta (Printf.sprintf "prof.edge.%s.%d.%s" fn iid lbl) (Int64.to_string c))
+    p.edge_counts;
+  Hashtbl.iter
+    (fun fn c -> Meta.set meta (Printf.sprintf "prof.fninsts.%s" fn) (Int64.to_string c))
+    p.fn_insts;
+  Hashtbl.iter
+    (fun fn c -> Meta.set meta (Printf.sprintf "prof.fncalls.%s" fn) (Int64.to_string c))
+    p.fn_calls;
+  Hashtbl.iter
+    (fun (a, b) c ->
+      Meta.set meta (Printf.sprintf "prof.callpair.%s.%s" a b) (Int64.to_string c))
+    p.call_pair;
+  Meta.set meta "prof.total" (Int64.to_string p.total_insts)
+
+(** Does the module carry an embedded profile? *)
+let available (m : Irmod.t) = Meta.mem m.Irmod.meta "prof.total"
+
+let get64 m k =
+  match Meta.get m.Irmod.meta k with
+  | Some s -> (try Int64.of_string s with _ -> 0L)
+  | None -> 0L
+
+let total_insts (m : Irmod.t) = get64 m "prof.total"
+
+let block_count (m : Irmod.t) (f : Func.t) bid =
+  get64 m (Printf.sprintf "prof.block.%s.%s" f.Func.fname (Func.block f bid).Func.label)
+
+let fn_invocations (m : Irmod.t) fname = get64 m (Printf.sprintf "prof.fncalls.%s" fname)
+
+let fn_insts (m : Irmod.t) fname = get64 m (Printf.sprintf "prof.fninsts.%s" fname)
+
+(** Dynamic instructions executed inside the loop (block count x block
+    size, the standard static-weighting of a block profile). *)
+let loop_insts (m : Irmod.t) (ls : Loopstructure.t) =
+  List.fold_left
+    (fun acc bid ->
+      let n = List.length (Func.block ls.Loopstructure.f bid).Func.insts in
+      Int64.add acc (Int64.mul (block_count m ls.Loopstructure.f bid) (Int64.of_int n)))
+    0L ls.Loopstructure.blocks
+
+(** Hotness of a loop: fraction of all executed instructions spent in it. *)
+let loop_hotness (m : Irmod.t) (ls : Loopstructure.t) =
+  let t = total_insts m in
+  if Int64.equal t 0L then 0.0
+  else Int64.to_float (loop_insts m ls) /. Int64.to_float t
+
+(** Total iterations of the loop (executions of its header). *)
+let loop_iterations (m : Irmod.t) (ls : Loopstructure.t) =
+  block_count m ls.Loopstructure.f ls.Loopstructure.header
+
+(** Invocations of the loop (entries from outside; executions of the
+    preheader when one exists). *)
+let loop_invocations (m : Irmod.t) (ls : Loopstructure.t) =
+  match ls.Loopstructure.preheader with
+  | Some ph -> block_count m ls.Loopstructure.f ph
+  | None ->
+    (* fall back: iterations minus back-edge executions *)
+    let latch_execs =
+      List.fold_left
+        (fun acc l -> Int64.add acc (block_count m ls.Loopstructure.f l))
+        0L ls.Loopstructure.latches
+    in
+    Int64.max 1L (Int64.sub (loop_iterations m ls) latch_execs)
+
+(** Average iterations per invocation. *)
+let loop_avg_iterations (m : Irmod.t) (ls : Loopstructure.t) =
+  let inv = loop_invocations m ls in
+  if Int64.equal inv 0L then 0.0
+  else Int64.to_float (loop_iterations m ls) /. Int64.to_float inv
+
+(** Taken-probability of a conditional branch towards a given target. *)
+let branch_probability (m : Irmod.t) (f : Func.t) (br : Instr.inst) ~target_label =
+  let k = Printf.sprintf "prof.edge.%s.%d.%s" f.Func.fname br.Instr.id target_label in
+  let taken = get64 m k in
+  match br.Instr.op with
+  | Instr.Cbr (_, t, e) ->
+    let lt = (Func.block f t).Func.label and le = (Func.block f e).Func.label in
+    let tot =
+      Int64.add
+        (get64 m (Printf.sprintf "prof.edge.%s.%d.%s" f.Func.fname br.Instr.id lt))
+        (get64 m (Printf.sprintf "prof.edge.%s.%d.%s" f.Func.fname br.Instr.id le))
+    in
+    if Int64.equal tot 0L then 0.5 else Int64.to_float taken /. Int64.to_float tot
+  | _ -> 0.0

@@ -1,0 +1,66 @@
+(** SCCDAG of a loop dependence graph.
+
+    The strongly-connected components of the loop's dependence graph,
+    arranged as a DAG.  This is the raw structure underneath the augmented
+    SCCDAG ({!Ascc}), which attaches Independent/Sequential/Reducible
+    attributes to each component. *)
+
+type scc = {
+  sid : int;
+  members : int list;             (** instruction ids, in discovery order *)
+  mutable carried_internal : bool;
+      (** some loop-carried dependence connects two members *)
+}
+
+type t = {
+  sccs : scc list;                (** reverse-topological order *)
+  node_scc : (int, int) Hashtbl.t;   (** instruction id -> scc id *)
+  dag_succ : (int, int list) Hashtbl.t;  (** scc id -> successor scc ids *)
+  ldg : Pdg.loop_dg;
+}
+
+let build (ldg : Pdg.loop_dg) : t =
+  let comps = Depgraph.sccs ldg.Pdg.ldg in
+  let node_scc = Hashtbl.create 64 in
+  let sccs =
+    List.mapi
+      (fun sid members ->
+        List.iter (fun n -> Hashtbl.replace node_scc n sid) members;
+        { sid; members; carried_internal = false })
+      comps
+  in
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace by_id s.sid s) sccs;
+  let dag_succ = Hashtbl.create 16 in
+  List.iter (fun s -> Hashtbl.replace dag_succ s.sid []) sccs;
+  List.iter
+    (fun (e : Depgraph.edge) ->
+      match
+        (Hashtbl.find_opt node_scc e.Depgraph.esrc, Hashtbl.find_opt node_scc e.Depgraph.edst)
+      with
+      | Some a, Some b when a = b ->
+        if e.Depgraph.loop_carried then (Hashtbl.find by_id a).carried_internal <- true
+      | Some a, Some b ->
+        let cur = Hashtbl.find dag_succ a in
+        if not (List.mem b cur) then Hashtbl.replace dag_succ a (b :: cur)
+      | _ -> ())
+    (Depgraph.edges ldg.Pdg.ldg);
+  { sccs; node_scc; dag_succ; ldg }
+
+let scc_of_inst (t : t) id = Hashtbl.find_opt t.node_scc id
+
+let scc_by_id (t : t) sid = List.find (fun s -> s.sid = sid) t.sccs
+
+let successors (t : t) sid = try Hashtbl.find t.dag_succ sid with Not_found -> []
+
+(** SCCs in topological order (producers before consumers). *)
+let topological (t : t) =
+  (* Depgraph.sccs returns reverse-topological order; reverse it *)
+  List.rev t.sccs
+
+(** Does this SCC carry a dependence across iterations (either a
+    loop-carried edge between members, or a loop-carried self edge)? *)
+let is_carried (s : scc) = s.carried_internal
+
+(** Total number of member instructions. *)
+let size (s : scc) = List.length s.members

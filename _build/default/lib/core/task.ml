@@ -1,0 +1,67 @@
+(** The Task abstraction (T, §2.2).
+
+    A task is a code region that runs sequentially, with its inputs and
+    outputs carried by an {!Env}.  Parallelization techniques partition the
+    nodes of an aSCCDAG into tasks, create an environment for each, and
+    submit the tasks to a thread pool at runtime.  Here the "thread pool"
+    is the fiber scheduler of [lib/psim], reached through the
+    [task_submit]/[tasks_run] runtime builtins it registers. *)
+
+open Ir
+
+type t = {
+  tfunc : Func.t;              (** the generated task function *)
+  env : Env.t;                 (** layout of its environment *)
+  origin : string;             (** readable description (loop id etc.) *)
+}
+
+(** Standard task signature: [(core, ncores, env) -> void]. *)
+let task_params = [ ("core", Ty.I64); ("ncores", Ty.I64); ("env", Ty.Ptr) ]
+
+let core_arg = Instr.Arg 0
+let ncores_arg = Instr.Arg 1
+let env_arg = Instr.Arg 2
+
+(** Create an empty task function named [name] in module [m], with an
+    entry block, and register it. *)
+let create (m : Irmod.t) ~name ~env ~origin : t * Func.block =
+  let tfunc = Func.create ~name ~params:task_params ~ret:Ty.Void in
+  Irmod.add_func m tfunc;
+  let entry = Builder.add_block tfunc ~label:"entry" in
+  ({ tfunc; env; origin }, entry)
+
+(** Emit a [task_submit(@task, core, ncores, env)] call in block [bid] of
+    [f]. *)
+let emit_submit (f : Func.t) bid (t : t) ~core ~ncores ~env_ptr =
+  ignore
+    (Builder.add f bid
+       (Instr.Call
+          (Instr.Glob "task_submit",
+           [ Instr.Glob t.tfunc.Func.fname; core; ncores; env_ptr ]))
+       Ty.Void)
+
+(** Emit the [tasks_run()] barrier that executes all submitted tasks. *)
+let emit_run_all (f : Func.t) bid =
+  ignore (Builder.add f bid (Instr.Call (Instr.Glob "tasks_run", [])) Ty.Void)
+
+(** Declare the parallel-runtime entry points in [m] so the verifier knows
+    them.  Idempotent. *)
+let declare_runtime (m : Irmod.t) =
+  let dec name params ret =
+    if Irmod.func_opt m name = None then
+      Irmod.add_func m (Func.declare ~name ~params ~ret)
+  in
+  dec "task_submit"
+    [ ("fn", Ty.Ptr); ("core", Ty.I64); ("ncores", Ty.I64); ("env", Ty.Ptr) ]
+    Ty.Void;
+  dec "tasks_run" [] Ty.Void;
+  dec "q_new" [] Ty.I64;
+  dec "q_push" [ ("q", Ty.I64); ("v", Ty.I64) ] Ty.Void;
+  dec "q_push_f" [ ("q", Ty.I64); ("v", Ty.F64) ] Ty.Void;
+  dec "q_pop" [ ("q", Ty.I64) ] Ty.I64;
+  dec "q_pop_f" [ ("q", Ty.I64) ] Ty.F64;
+  dec "i64_max" [ ("a", Ty.I64); ("b", Ty.I64) ] Ty.I64;
+  dec "i64_min" [ ("a", Ty.I64); ("b", Ty.I64) ] Ty.I64;
+  dec "sig_new" [] Ty.I64;
+  dec "sig_wait" [ ("s", Ty.I64); ("v", Ty.I64) ] Ty.Void;
+  dec "sig_set" [ ("s", Ty.I64); ("v", Ty.I64) ] Ty.Void

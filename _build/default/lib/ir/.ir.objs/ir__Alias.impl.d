@@ -1,0 +1,1 @@
+lib/ir/alias.ml: Func Hashtbl Instr Int64 Irmod List Option

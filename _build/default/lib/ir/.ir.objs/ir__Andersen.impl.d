@@ -1,0 +1,1 @@
+lib/ir/andersen.ml: Alias Array Func Hashtbl Instr Irmod List Set String

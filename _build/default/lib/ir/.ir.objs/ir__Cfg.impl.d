@@ -1,0 +1,1 @@
+lib/ir/cfg.ml: Builder Func Hashtbl Instr List

@@ -1,0 +1,1 @@
+lib/ir/dom.ml: Cfg Func Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/func.ml: Array Hashtbl Instr List Printf String Ty

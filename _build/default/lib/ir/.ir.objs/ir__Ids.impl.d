@@ -1,0 +1,1 @@
+lib/ir/ids.ml: Func Instr Loopnest Option Printf String

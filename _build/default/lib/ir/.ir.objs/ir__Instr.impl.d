@@ -1,0 +1,1 @@
+lib/ir/instr.ml: Float Int64 List String Ty

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Buffer Float Func Hashtbl Instr Int64 Irmod List Printf Ty

@@ -1,0 +1,1 @@
+lib/ir/irmod.ml: Func Hashtbl Instr List Meta Printf String

@@ -1,0 +1,1 @@
+lib/ir/linker.ml: Func Irmod List Meta Printf String

@@ -1,0 +1,1 @@
+lib/ir/loopnest.ml: Cfg Dom Func Hashtbl Int List Set

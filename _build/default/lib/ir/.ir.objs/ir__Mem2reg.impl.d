@@ -1,0 +1,1 @@
+lib/ir/mem2reg.ml: Builder Cfg Dom Func Hashtbl Instr Irmod List Queue Ty

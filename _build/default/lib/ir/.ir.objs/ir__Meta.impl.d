@@ -1,0 +1,1 @@
+lib/ir/meta.ml: Hashtbl List Option Printf String

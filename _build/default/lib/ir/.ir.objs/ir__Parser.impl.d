@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Buffer Builder Filename Func Hashtbl Instr Int64 Irmod List Meta Printf String Ty

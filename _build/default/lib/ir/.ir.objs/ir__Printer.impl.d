@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Array Buffer Float Func Instr Int64 Irmod List Meta Printf String Ty

@@ -1,0 +1,1 @@
+lib/ir/scev.ml: Func Instr Int64 List Loopnest

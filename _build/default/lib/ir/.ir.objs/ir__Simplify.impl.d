@@ -1,0 +1,1 @@
+lib/ir/simplify.ml: Builder Func Hashtbl Instr Int64 Irmod List

@@ -1,0 +1,1 @@
+lib/ir/verify.ml: Array Cfg Dom Func Hashtbl Instr Irmod List Printf

@@ -1,0 +1,274 @@
+(** Modular alias-analysis stack.
+
+    NOELLE's PDG is powered by a list of collaborating alias analyses
+    (SCAF, SVF, plus LLVM's own); each analysis may answer a query or
+    decline, and the first definitive answer wins (§2.1: "NOELLE's modular
+    design makes it easy to extend the list of external code analyses").
+    We reproduce that architecture: {!analysis} is the plug-in interface,
+    {!baseline} is the LLVM-equivalent conservative analysis, and
+    {!Andersen} (in [andersen.ml]) is the state-of-the-art stand-in.
+    Figure 3 measures the precision gap between the [baseline]-only stack
+    and the full NOELLE stack. *)
+
+type result = No_alias | May_alias | Must_alias
+
+(** Abstract base object a pointer value is derived from. *)
+type base =
+  | Balloca of int        (** alloca instruction id *)
+  | Bglobal of string
+  | Bmalloc of int        (** malloc call-site instruction id *)
+  | Barg of int           (** incoming pointer argument *)
+  | Bnull
+  | Bunknown
+
+(** Trace a pointer value back to its base object within [f]. *)
+let rec base_of (f : Func.t) (v : Instr.value) : base =
+  match v with
+  | Instr.Glob g -> Bglobal g
+  | Instr.Null -> Bnull
+  | Instr.Arg i -> Barg i
+  | Instr.Cint _ | Instr.Cfloat _ -> Bunknown
+  | Instr.Reg r -> (
+    match Func.inst_opt f r with
+    | None -> Bunknown
+    | Some i -> (
+      match i.Instr.op with
+      | Instr.Alloca _ -> Balloca r
+      | Instr.Gep (p, _) -> base_of f p
+      | Instr.Call (Instr.Glob "malloc", _) -> Bmalloc r
+      | Instr.Select (_, a, b) ->
+        let ba = base_of f a and bb = base_of f b in
+        if ba = bb then ba else Bunknown
+      | _ -> Bunknown))
+
+(** Constant word offset of [v] from its base, if it is entirely constant. *)
+let rec const_offset (f : Func.t) (v : Instr.value) : int64 option =
+  match v with
+  | Instr.Glob _ | Instr.Null | Instr.Arg _ -> Some 0L
+  | Instr.Reg r -> (
+    match Func.inst_opt f r with
+    | None -> None
+    | Some i -> (
+      match i.Instr.op with
+      | Instr.Alloca _ | Instr.Call (Instr.Glob "malloc", _) -> Some 0L
+      | Instr.Gep (p, Instr.Cint c) ->
+        Option.map (Int64.add c) (const_offset f p)
+      | _ -> None))
+  | _ -> None
+
+(** Does the address of alloca [r] escape [f] (stored, passed to a call,
+    converted to an integer)? *)
+let alloca_escapes (f : Func.t) (r : int) =
+  let escapes = ref false in
+  (* escape propagates through geps/selects/phis derived from the alloca *)
+  let derived = Hashtbl.create 8 in
+  Hashtbl.replace derived r ();
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Func.iter_insts
+      (fun i ->
+        let from_derived =
+          List.exists
+            (function Instr.Reg x -> Hashtbl.mem derived x | _ -> false)
+            (Instr.operands i.Instr.op)
+        in
+        if from_derived && not (Hashtbl.mem derived i.Instr.id) then
+          match i.Instr.op with
+          | Instr.Gep _ | Instr.Select _ | Instr.Phi _ ->
+            Hashtbl.replace derived i.Instr.id ();
+            changed := true
+          | _ -> ())
+      f
+  done;
+  Func.iter_insts
+    (fun i ->
+      let mentions_derived vs =
+        List.exists (function Instr.Reg x -> Hashtbl.mem derived x | _ -> false) vs
+      in
+      match i.Instr.op with
+      | Instr.Store (v, _) when mentions_derived [ v ] -> escapes := true
+      | Instr.Call (_, args) when mentions_derived args -> escapes := true
+      | Instr.Cast (Instr.Ptrtoint, v) when mentions_derived [ v ] -> escapes := true
+      | Instr.Ret (Some v) when mentions_derived [ v ] -> escapes := true
+      | _ -> ())
+    f;
+  !escapes
+
+(** A pluggable alias analysis.  [alias] may decline with [None]; a
+    definitive [Some No_alias]/[Some Must_alias] short-circuits the stack.
+    [call_may_touch] answers whether a call instruction may read or write
+    the object behind a pointer ([None] = no opinion). *)
+type analysis = {
+  aname : string;
+  alias : Irmod.t -> Func.t -> Instr.value -> Instr.value -> result option;
+  call_may_touch : Irmod.t -> Func.t -> Instr.inst -> Instr.value -> bool option;
+  calls_may_conflict : Irmod.t -> Func.t -> Instr.inst -> Instr.inst -> bool option;
+}
+
+type stack = analysis list
+
+(* ------------------------------------------------------------------ *)
+(* Baseline analysis: the LLVM-equivalent conservative rules           *)
+(* ------------------------------------------------------------------ *)
+
+(** Builtins that never touch IR-visible memory and have no ordering
+    constraints (the analogue of LLVM intrinsics with
+    [inaccessiblememonly] + [speculatable]). *)
+let pure_builtins =
+  [ "sqrt"; "exp"; "log"; "sin"; "cos"; "fabs"; "floor"; "pow";
+    "i64_min"; "i64_max"; "carat_guard"; "os_callback" ]
+
+(** Builtins with ordered side effects (I/O, PRVG state, timers): they do
+    not touch program memory, but two of them must not be reordered with
+    respect to each other.  This is what makes a [rand()] sequence a
+    genuine loop-carried dependence — the very dependence PRVJeeves and
+    HELIX exist to deal with. *)
+let ordered_builtins = [ "print"; "print_float"; "rand"; "srand"; "clock" ]
+
+let is_pure_builtin = function
+  | Instr.Glob g -> List.mem g pure_builtins
+  | _ -> false
+
+let is_ordered_builtin = function
+  | Instr.Glob g -> List.mem g ordered_builtins
+  | _ -> false
+
+(** malloc/free manage allocation metadata but do not read or write any
+    object the program can name through other pointers. *)
+let is_alloc_builtin = function
+  | Instr.Glob ("malloc" | "free") -> true
+  | _ -> false
+
+(** Structural must-alias: two pointers are the same address when they are
+    the same SSA value or geps with identical (recursively same) base and
+    index operands (BasicAA-style). *)
+let rec same_address (f : Func.t) p1 p2 =
+  Instr.value_equal p1 p2
+  ||
+  match (p1, p2) with
+  | Instr.Reg a, Instr.Reg b -> (
+    match (Func.inst_opt f a, Func.inst_opt f b) with
+    | Some { Instr.op = Instr.Gep (b1, i1); _ }, Some { Instr.op = Instr.Gep (b2, i2); _ }
+      ->
+      Instr.value_equal i1 i2 && same_address f b1 b2
+    | _ -> false)
+  | _ -> false
+
+let baseline_alias (_m : Irmod.t) (f : Func.t) p1 p2 =
+  if same_address f p1 p2 then Some Must_alias
+  else
+    let b1 = base_of f p1 and b2 = base_of f p2 in
+    match (b1, b2) with
+    | Bnull, _ | _, Bnull -> Some No_alias
+    | Bunknown, _ | _, Bunknown -> None
+    | Balloca a, Balloca b when a <> b -> Some No_alias
+    | Bglobal a, Bglobal b when a <> b -> Some No_alias
+    | Bmalloc a, Bmalloc b when a <> b -> Some No_alias
+    | Balloca a, (Bglobal _ | Bmalloc _ | Barg _)
+    | (Bglobal _ | Bmalloc _ | Barg _), Balloca a ->
+      if alloca_escapes f a then None else Some No_alias
+    | Bglobal _, Bmalloc _ | Bmalloc _, Bglobal _ -> Some No_alias
+    | Barg a, Barg b when a = b -> None
+    | Barg _, (Bglobal _ | Bmalloc _) | (Bglobal _ | Bmalloc _), Barg _ ->
+      None (* an argument may point into a global or heap object *)
+    | _ ->
+      (* same base object: compare constant offsets *)
+      if b1 = b2 then
+        match (const_offset f p1, const_offset f p2) with
+        | Some o1, Some o2 ->
+          if Int64.equal o1 o2 then Some Must_alias else Some No_alias
+        | _ -> None
+      else None
+
+let baseline_call_may_touch (_m : Irmod.t) (_f : Func.t) (call : Instr.inst) _ptr =
+  match call.Instr.op with
+  | Instr.Call (callee, _)
+    when is_pure_builtin callee || is_alloc_builtin callee
+         || is_ordered_builtin callee ->
+    Some false
+  | _ -> None (* unknown call: conservatively may touch anything *)
+
+let baseline_calls_conflict (_m : Irmod.t) (_f : Func.t) c1 c2 =
+  let classify (c : Instr.inst) =
+    match c.Instr.op with
+    | Instr.Call (callee, _) ->
+      if is_ordered_builtin callee then `Ordered
+      else if is_pure_builtin callee || is_alloc_builtin callee then `Pure
+      else `Unknown
+    | _ -> `Unknown
+  in
+  match (classify c1, classify c2) with
+  | `Ordered, `Ordered -> Some true  (* I/O and PRVG order must be preserved *)
+  | `Pure, _ | _, `Pure -> Some false
+  | `Ordered, `Unknown | `Unknown, `Ordered ->
+    None (* the unknown callee may itself perform ordered effects *)
+  | `Unknown, `Unknown -> None
+
+let baseline : analysis =
+  {
+    aname = "baseline";
+    alias = baseline_alias;
+    call_may_touch = baseline_call_may_touch;
+    calls_may_conflict = baseline_calls_conflict;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Stack combinators                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Query the stack; the first definitive answer wins, defaulting to
+    [May_alias]. *)
+let alias (stack : stack) m f p1 p2 =
+  let rec go = function
+    | [] -> May_alias
+    | a :: rest -> (
+      match a.alias m f p1 p2 with
+      | Some r -> r
+      | None -> go rest)
+  in
+  go stack
+
+let call_may_touch (stack : stack) m f call ptr =
+  let rec go = function
+    | [] -> true
+    | a :: rest -> (
+      match a.call_may_touch m f call ptr with
+      | Some r -> r
+      | None -> go rest)
+  in
+  go stack
+
+let calls_may_conflict (stack : stack) m f c1 c2 =
+  let rec go = function
+    | [] -> true
+    | a :: rest -> (
+      match a.calls_may_conflict m f c1 c2 with
+      | Some r -> r
+      | None -> go rest)
+  in
+  go stack
+
+(** Pointer operand of a memory instruction, if any. *)
+let pointer_operand (i : Instr.inst) =
+  match i.Instr.op with
+  | Instr.Load p -> Some p
+  | Instr.Store (_, p) -> Some p
+  | _ -> None
+
+(** May two memory instructions (load/store/call) conflict (at least one
+    write to a common location)?  This is the query the PDG builder uses. *)
+let may_conflict (stack : stack) m f (i1 : Instr.inst) (i2 : Instr.inst) =
+  match (i1.Instr.op, i2.Instr.op) with
+  | Instr.Load _, Instr.Load _ -> false
+  | Instr.Call _, Instr.Call _ -> calls_may_conflict stack m f i1 i2
+  | Instr.Call _, (Instr.Load _ | Instr.Store _) ->
+    call_may_touch stack m f i1 (Option.get (pointer_operand i2))
+  | (Instr.Load _ | Instr.Store _), Instr.Call _ ->
+    call_may_touch stack m f i2 (Option.get (pointer_operand i1))
+  | (Instr.Load _ | Instr.Store _), (Instr.Load _ | Instr.Store _) ->
+    alias stack m f
+      (Option.get (pointer_operand i1))
+      (Option.get (pointer_operand i2))
+    <> No_alias
+  | _ -> false

@@ -1,0 +1,363 @@
+(** Inclusion-based (Andersen-style) whole-module points-to analysis.
+
+    This is the reproduction's stand-in for the external state-of-the-art
+    analyses NOELLE integrates (SCAF [16], SVF [47]): a flow-insensitive,
+    context-insensitive, field-insensitive points-to analysis with
+    interprocedural propagation through calls (including indirect calls
+    resolved on the fly) and a mod/ref summary per function.  Plugged into
+    the {!Alias} stack after the baseline analysis, it provides the extra
+    dependence disprovals measured in Figure 3. *)
+
+module SS = Set.Make (String)
+
+type obj =
+  | Oalloca of string * int   (** function name, alloca inst id *)
+  | Oglob of string
+  | Omalloc of string * int   (** function name, call-site inst id *)
+  | Ofun of string
+  | Oextern                   (** unknown memory (int-to-pointer, externals) *)
+
+module ObjSet = Set.Make (struct
+  type t = obj
+  let compare = compare
+end)
+
+type var =
+  | Vreg of string * int
+  | Varg of string * int
+  | Vret of string
+  | Vmem of obj               (** contents of an abstract object *)
+
+module VarMap = Hashtbl.Make (struct
+  type t = var
+  let equal = ( = )
+  let hash = Hashtbl.hash
+end)
+
+(** Pseudo-object standing for ordered external effects (I/O, PRVG state);
+    never aliases program memory but makes ordered calls conflict. *)
+let ordered_obj = Oglob "<ordered-effects>"
+
+type t = {
+  pts : ObjSet.t VarMap.t;
+  touched : (string, ObjSet.t * ObjSet.t) Hashtbl.t;
+      (** per-function transitive (reads, writes), [Oextern] meaning unknown *)
+  module_ : Irmod.t;
+}
+
+let pts_of (r : t) v = match VarMap.find_opt r.pts v with Some s -> s | None -> ObjSet.empty
+
+(** Points-to set of a value occurring in function [f]. *)
+let pts_of_value (r : t) (f : Func.t) (v : Instr.value) =
+  match v with
+  | Instr.Reg x -> pts_of r (Vreg (f.Func.fname, x))
+  | Instr.Arg k -> pts_of r (Varg (f.Func.fname, k))
+  | Instr.Glob g ->
+    if Irmod.func_opt r.module_ g <> None then ObjSet.singleton (Ofun g)
+    else ObjSet.singleton (Oglob g)
+  | Instr.Null | Instr.Cint _ | Instr.Cfloat _ -> ObjSet.empty
+
+let analyze (m : Irmod.t) : t =
+  let pts : ObjSet.t VarMap.t = VarMap.create 256 in
+  let get v = match VarMap.find_opt pts v with Some s -> s | None -> ObjSet.empty in
+  let changed = ref true in
+  let add v s =
+    if not (ObjSet.subset s (get v)) then begin
+      VarMap.replace pts v (ObjSet.union s (get v));
+      changed := true
+    end
+  in
+  (* copy edges, load/store constraints, call sites *)
+  let copies : (var * var, unit) Hashtbl.t = Hashtbl.create 256 in
+  let add_copy src dst =
+    if not (Hashtbl.mem copies (src, dst)) then begin
+      Hashtbl.replace copies (src, dst) ();
+      changed := true
+    end
+  in
+  let loads = ref [] (* (ptr var, dst var) *) in
+  let stores = ref [] (* (src var option, const objs, ptr var) *) in
+  let calls = ref [] (* (caller fname, inst, callee value, args) *) in
+  let var_of f = function
+    | Instr.Reg x -> Some (Vreg (f, x))
+    | Instr.Arg k -> Some (Varg (f, k))
+    | _ -> None
+  in
+  let const_objs m = function
+    | Instr.Glob g ->
+      if Irmod.func_opt m g <> None then ObjSet.singleton (Ofun g)
+      else ObjSet.singleton (Oglob g)
+    | _ -> ObjSet.empty
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      let fn = f.Func.fname in
+      Func.iter_insts
+        (fun i ->
+          let dst = Vreg (fn, i.Instr.id) in
+          let flow v =
+            (match var_of fn v with
+            | Some src -> add_copy src dst
+            | None -> ());
+            add dst (const_objs m v)
+          in
+          match i.Instr.op with
+          | Instr.Alloca _ -> add dst (ObjSet.singleton (Oalloca (fn, i.Instr.id)))
+          | Instr.Gep (p, _) -> flow p
+          | Instr.Cast (Instr.Inttoptr, _) -> add dst (ObjSet.singleton Oextern)
+          | Instr.Cast (_, v) -> flow v
+          | Instr.Phi incs -> List.iter (fun (_, v) -> flow v) incs
+          | Instr.Select (_, a, b) -> flow a; flow b
+          | Instr.Load p ->
+            (match var_of fn p with
+            | Some pv -> loads := (pv, dst) :: !loads
+            | None -> ObjSet.iter (fun o -> add_copy (Vmem o) dst) (const_objs m p))
+          | Instr.Store (v, p) ->
+            let src = var_of fn v in
+            let cobjs = const_objs m v in
+            (match var_of fn p with
+            | Some pv -> stores := (src, cobjs, `Var pv) :: !stores
+            | None ->
+              ObjSet.iter
+                (fun o ->
+                  (match src with Some s -> add_copy s (Vmem o) | None -> ());
+                  add (Vmem o) cobjs)
+                (const_objs m p))
+          | Instr.Call (Instr.Glob "malloc", _) ->
+            add dst (ObjSet.singleton (Omalloc (fn, i.Instr.id)))
+          | Instr.Call (callee, args) -> calls := (fn, i, callee, args) :: !calls
+          | Instr.Ret (Some v) ->
+            (match var_of fn v with Some s -> add_copy s (Vret fn) | None -> ());
+            add (Vret fn) (const_objs m v)
+          | _ -> ())
+        f)
+    (Irmod.defined_functions m);
+  (* wire a (resolved) call to a concrete callee *)
+  let wired = Hashtbl.create 64 in
+  let wire caller (i : Instr.inst) callee args =
+    let key = (caller, i.Instr.id, callee) in
+    if not (Hashtbl.mem wired key) then begin
+      Hashtbl.replace wired key ();
+      match Irmod.func_opt m callee with
+      | Some g when not g.Func.is_declaration ->
+        List.iteri
+          (fun k v ->
+            if k < Array.length g.Func.params then begin
+              (match var_of caller v with
+              | Some s -> add_copy s (Varg (callee, k))
+              | None -> ());
+              add (Varg (callee, k)) (const_objs m v)
+            end)
+          args;
+        add_copy (Vret callee) (Vreg (caller, i.Instr.id))
+      | _ ->
+        (* builtin or declaration: result may point anywhere only if it is
+           a pointer-producing unknown; our builtins never return pointers
+           except malloc (handled above) *)
+        ()
+    end
+  in
+  (* fixpoint *)
+  while !changed do
+    changed := false;
+    Hashtbl.iter (fun (src, dst) () -> add dst (get src)) copies;
+    List.iter (fun (pv, dst) -> ObjSet.iter (fun o -> add_copy (Vmem o) dst) (get pv)) !loads;
+    List.iter
+      (fun (src, cobjs, tgt) ->
+        match tgt with
+        | `Var pv ->
+          ObjSet.iter
+            (fun o ->
+              (match src with Some s -> add_copy s (Vmem o) | None -> ());
+              add (Vmem o) cobjs)
+            (get pv))
+      !stores;
+    List.iter
+      (fun (caller, i, callee, args) ->
+        match callee with
+        | Instr.Glob g -> wire caller i g args
+        | v -> (
+          match var_of caller v with
+          | Some cv ->
+            ObjSet.iter
+              (function Ofun g -> wire caller i g args | _ -> ())
+              (get cv)
+          | None -> ()))
+      !calls
+  done;
+  (* mod/ref summaries: per function, transitive (reads, writes) *)
+  let r = { pts; touched = Hashtbl.create 16; module_ = m } in
+  let direct = Hashtbl.create 16 in
+  let callees_of = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fn = f.Func.fname in
+      let reads = ref ObjSet.empty and writes = ref ObjSet.empty in
+      let cs = ref SS.empty in
+      Func.iter_insts
+        (fun i ->
+          match i.Instr.op with
+          | Instr.Load p ->
+            let s = pts_of_value r f p in
+            reads := ObjSet.union !reads (if ObjSet.is_empty s then ObjSet.singleton Oextern else s)
+          | Instr.Store (_, p) ->
+            let s = pts_of_value r f p in
+            writes := ObjSet.union !writes (if ObjSet.is_empty s then ObjSet.singleton Oextern else s)
+          | Instr.Call (Instr.Glob g, _) ->
+            if List.mem g Alias.ordered_builtins then begin
+              (* ordered effects modelled as a pseudo-object so order
+                 dependence propagates through defined callees *)
+              reads := ObjSet.add ordered_obj !reads;
+              writes := ObjSet.add ordered_obj !writes
+            end
+            else if Irmod.func_opt m g <> None
+                    && not (List.mem g Alias.pure_builtins)
+                    && g <> "malloc" && g <> "free"
+            then cs := SS.add g !cs
+            else if Irmod.func_opt m g = None then begin
+              (* unknown external: conservative *)
+              if not (List.mem g Alias.pure_builtins || g = "malloc" || g = "free") then begin
+                reads := ObjSet.add Oextern !reads;
+                writes := ObjSet.add Oextern !writes
+              end
+            end
+          | Instr.Call (v, _) -> (
+            match pts_of_value r f v with
+            | s when ObjSet.is_empty s ->
+              reads := ObjSet.add Oextern !reads;
+              writes := ObjSet.add Oextern !writes
+            | s ->
+              ObjSet.iter
+                (function
+                  | Ofun g -> cs := SS.add g !cs
+                  | _ ->
+                    reads := ObjSet.add Oextern !reads;
+                    writes := ObjSet.add Oextern !writes)
+                s)
+          | _ -> ())
+        f;
+      Hashtbl.replace direct fn (!reads, !writes);
+      Hashtbl.replace callees_of fn !cs)
+    (Irmod.defined_functions m);
+  (* transitive closure over the (static) callee sets *)
+  let summary = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      Hashtbl.replace summary f.Func.fname (Hashtbl.find direct f.Func.fname))
+    (Irmod.defined_functions m);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun fn cs ->
+        let r0, w0 = Hashtbl.find summary fn in
+        let r', w' =
+          SS.fold
+            (fun g (ra, wa) ->
+              match Hashtbl.find_opt summary g with
+              | Some (rg, wg) -> (ObjSet.union ra rg, ObjSet.union wa wg)
+              | None -> (ObjSet.add Oextern ra, ObjSet.add Oextern wa))
+            cs (r0, w0)
+        in
+        if not (ObjSet.equal r' r0 && ObjSet.equal w' w0) then begin
+          Hashtbl.replace summary fn (r', w');
+          changed := true
+        end)
+      callees_of
+  done;
+  Hashtbl.iter (fun k v -> Hashtbl.replace r.touched k v) summary;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Alias-stack plug-in                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Abstract objects a pointer value may point to, treating empty as "no
+    information" and [Oextern] as "anything". *)
+let objs_of (r : t) f v =
+  let s = pts_of_value r f v in
+  (* values derived through geps carry the base's set: walk up if empty *)
+  if not (ObjSet.is_empty s) then s
+  else
+    match v with
+    | Instr.Reg x -> (
+      match Func.inst_opt f x with
+      | Some { Instr.op = Instr.Gep (p, _); _ } -> pts_of_value r f p
+      | _ -> s)
+    | _ -> s
+
+let mk_alias (r : t) : Irmod.t -> Func.t -> Instr.value -> Instr.value -> Alias.result option =
+ fun _m f p1 p2 ->
+  let s1 = objs_of r f p1 and s2 = objs_of r f p2 in
+  if ObjSet.is_empty s1 || ObjSet.is_empty s2 then None
+  else if ObjSet.mem Oextern s1 || ObjSet.mem Oextern s2 then None
+  else if ObjSet.is_empty (ObjSet.inter s1 s2) then Some Alias.No_alias
+  else None
+
+(** (reads, writes) object sets of a call instruction. *)
+let call_touched (r : t) (f : Func.t) (call : Instr.inst) =
+  match call.Instr.op with
+  | Instr.Call (Instr.Glob g, _) -> (
+    if List.mem g Alias.pure_builtins || g = "malloc" || g = "free" then
+      Some (ObjSet.empty, ObjSet.empty)
+    else if List.mem g Alias.ordered_builtins then
+      Some (ObjSet.singleton ordered_obj, ObjSet.singleton ordered_obj)
+    else
+      match Hashtbl.find_opt r.touched g with
+      | Some s -> Some s
+      | None -> None)
+  | Instr.Call (v, _) -> (
+    let s = pts_of_value r f v in
+    if ObjSet.is_empty s || ObjSet.mem Oextern s then None
+    else
+      ObjSet.fold
+        (fun o acc ->
+          match (o, acc) with
+          | Ofun g, Some (ra, wa) -> (
+            match Hashtbl.find_opt r.touched g with
+            | Some (rg, wg) -> Some (ObjSet.union ra rg, ObjSet.union wa wg)
+            | None -> None)
+          | _ -> None)
+        s
+        (Some (ObjSet.empty, ObjSet.empty)))
+  | _ -> None
+
+let mk_call_may_touch (r : t) =
+ fun _m f (call : Instr.inst) ptr ->
+  match call_touched r f call with
+  | None -> None
+  | Some (reads, writes) ->
+    if ObjSet.mem Oextern reads || ObjSet.mem Oextern writes then None
+    else
+      let p = objs_of r f ptr in
+      if ObjSet.is_empty p || ObjSet.mem Oextern p then None
+      else
+        Some
+          (not
+             (ObjSet.is_empty (ObjSet.inter p reads)
+             && ObjSet.is_empty (ObjSet.inter p writes)))
+
+let mk_calls_may_conflict (r : t) =
+ fun _m f c1 c2 ->
+  match (call_touched r f c1, call_touched r f c2) with
+  | Some (r1, w1), Some (r2, w2) ->
+    if List.exists (ObjSet.mem Oextern) [ r1; w1; r2; w2 ] then None
+    else
+      let inter a b = not (ObjSet.is_empty (ObjSet.inter a b)) in
+      Some (inter w1 r2 || inter w1 w2 || inter w2 r1)
+  | _ -> None
+
+(** Package the analysis for the {!Alias} stack. *)
+let analysis (r : t) : Alias.analysis =
+  {
+    Alias.aname = "andersen";
+    alias = mk_alias r;
+    call_may_touch = mk_call_may_touch r;
+    calls_may_conflict = mk_calls_may_conflict r;
+  }
+
+(** The full NOELLE alias stack for a module: baseline + Andersen. *)
+let noelle_stack (m : Irmod.t) : Alias.stack = [ Alias.baseline; analysis (analyze m) ]
+
+(** The LLVM-equivalent baseline stack. *)
+let baseline_stack : Alias.stack = [ Alias.baseline ]

@@ -1,0 +1,344 @@
+(** Mutation API for the IR.
+
+    All structural edits to functions go through this module so that block
+    instruction lists, parent pointers and phi incoming lists stay
+    consistent.  It plays the role of LLVM's IRBuilder plus the handful of
+    low-level CFG update utilities passes need. *)
+
+open Instr
+
+(** [add_block f ~label] appends a fresh empty block to [f]. *)
+let add_block (f : Func.t) ~label =
+  let bid = Func.fresh_id f in
+  let lbl = if Func.find_label f label = None then label
+    else Printf.sprintf "%s.%d" label bid in
+  let b = { Func.bid; label = lbl; insts = [] } in
+  Hashtbl.replace f.Func.blks bid b;
+  f.Func.blocks <- f.Func.blocks @ [ bid ];
+  b
+
+(** Create an instruction record owned by [f] without inserting it. *)
+let mk_inst (f : Func.t) op ty =
+  let id = Func.fresh_id f in
+  let i = { id; op; ty; parent = -1 } in
+  Hashtbl.replace f.Func.body id i;
+  i
+
+(** Append an instruction at the end of block [bid] and return its value.
+    If the block is already terminated the instruction goes just before the
+    terminator. *)
+let add (f : Func.t) bid op ty =
+  let i = mk_inst f op ty in
+  i.parent <- bid;
+  let b = Func.block f bid in
+  (match List.rev b.insts with
+  | last :: _ when Instr.is_terminator (Func.inst f last) ->
+    let rec ins = function
+      | [ t ] -> [ i.id; t ]
+      | x :: rest -> x :: ins rest
+      | [] -> [ i.id ]
+    in
+    b.insts <- ins b.insts
+  | _ -> b.insts <- b.insts @ [ i.id ]);
+  i
+
+(** Append a terminator to block [bid]; fails if already terminated. *)
+let set_term (f : Func.t) bid op =
+  assert (Instr.is_terminator_op op);
+  (match Func.terminator f bid with
+  | Some t ->
+    invalid_arg
+      (Printf.sprintf "Builder.set_term: block %d already terminated (inst %d)" bid t.id)
+  | None -> ());
+  let i = mk_inst f op Ty.Void in
+  i.parent <- bid;
+  let b = Func.block f bid in
+  b.insts <- b.insts @ [ i.id ];
+  i
+
+(** Replace the terminator of [bid] (or install one if missing). *)
+let replace_term (f : Func.t) bid op =
+  assert (Instr.is_terminator_op op);
+  let b = Func.block f bid in
+  (match Func.terminator f bid with
+  | Some t ->
+    b.insts <- List.filter (fun id -> id <> t.id) b.insts;
+    Hashtbl.remove f.Func.body t.id
+  | None -> ());
+  ignore (set_term f bid op)
+
+(** Insert a new instruction immediately before instruction [before]. *)
+let insert_before (f : Func.t) ~before op ty =
+  let anchor = Func.inst f before in
+  let i = mk_inst f op ty in
+  i.parent <- anchor.parent;
+  let b = Func.block f anchor.parent in
+  let rec ins = function
+    | x :: rest when x = before -> i.id :: x :: rest
+    | x :: rest -> x :: ins rest
+    | [] -> [ i.id ]
+  in
+  b.insts <- ins b.insts;
+  i
+
+(** Insert a new instruction at the front of block [bid] (phi position). *)
+let insert_front (f : Func.t) bid op ty =
+  let i = mk_inst f op ty in
+  i.parent <- bid;
+  let b = Func.block f bid in
+  b.insts <- i.id :: b.insts;
+  i
+
+(** Detach instruction [id] from its block and delete it.  The caller must
+    ensure it has no remaining users. *)
+let remove (f : Func.t) id =
+  let i = Func.inst f id in
+  if i.parent >= 0 then begin
+    let b = Func.block f i.parent in
+    b.insts <- List.filter (fun x -> x <> id) b.insts
+  end;
+  Hashtbl.remove f.Func.body id
+
+(** Replace every use of SSA register [old] with value [by], everywhere in
+    [f]. *)
+let replace_uses (f : Func.t) ~old ~by =
+  Func.iter_insts
+    (fun i ->
+      i.op <-
+        Instr.map_operands (function Reg r when r = old -> by | v -> v) i.op)
+    f
+
+(** Move instruction [id] so it becomes the last non-terminator of block
+    [bid]. *)
+let move_to_end (f : Func.t) id ~bid =
+  let i = Func.inst f id in
+  let src = Func.block f i.parent in
+  src.insts <- List.filter (fun x -> x <> id) src.insts;
+  i.parent <- bid;
+  let b = Func.block f bid in
+  (match List.rev b.insts with
+  | last :: _ when Instr.is_terminator (Func.inst f last) ->
+    let rec ins = function
+      | [ t ] -> [ id; t ]
+      | x :: rest -> x :: ins rest
+      | [] -> [ id ]
+    in
+    b.insts <- ins b.insts
+  | _ -> b.insts <- b.insts @ [ id ])
+
+(** Move instruction [id] immediately before instruction [before] (possibly
+    in a different block). *)
+let move_before (f : Func.t) id ~before =
+  let i = Func.inst f id in
+  let anchor = Func.inst f before in
+  let src = Func.block f i.parent in
+  src.insts <- List.filter (fun x -> x <> id) src.insts;
+  i.parent <- anchor.parent;
+  let b = Func.block f anchor.parent in
+  let rec ins = function
+    | x :: rest when x = before -> id :: x :: rest
+    | x :: rest -> x :: ins rest
+    | [] -> [ id ]
+  in
+  b.insts <- ins b.insts
+
+(** In every phi of block [bid], rewrite incoming edges from [old_pred] to
+    come from [new_pred] instead. *)
+let rewrite_phi_pred (f : Func.t) bid ~old_pred ~new_pred =
+  List.iter
+    (fun i ->
+      match i.op with
+      | Phi incs ->
+        i.op <- Phi (List.map (fun (p, v) -> if p = old_pred then (new_pred, v) else (p, v)) incs)
+      | _ -> ())
+    (Func.insts_of_block f bid)
+
+(** Drop the incoming edge from [pred] in every phi of [bid]. *)
+let remove_phi_incoming (f : Func.t) bid ~pred =
+  List.iter
+    (fun i ->
+      match i.op with
+      | Phi incs -> i.op <- Phi (List.filter (fun (p, _) -> p <> pred) incs)
+      | _ -> ())
+    (Func.insts_of_block f bid)
+
+(** Redirect the successor [old_succ] of block [bid]'s terminator to
+    [new_succ]. *)
+let redirect (f : Func.t) bid ~old_succ ~new_succ =
+  match Func.terminator f bid with
+  | None -> ()
+  | Some t ->
+    t.op <-
+      (match t.op with
+      | Br b when b = old_succ -> Br new_succ
+      | Cbr (v, a, b) ->
+        Cbr (v, (if a = old_succ then new_succ else a),
+             if b = old_succ then new_succ else b)
+      | op -> op)
+
+(** Split block [bid] before instruction [at]: instructions from [at] to the
+    terminator move into a fresh block; [bid] falls through with a [Br].
+    Phis in successors are updated to the new block.  Returns the new block. *)
+let split_block (f : Func.t) bid ~at ~label =
+  let b = Func.block f bid in
+  let rec cut acc = function
+    | x :: rest when x = at -> (List.rev acc, x :: rest)
+    | x :: rest -> cut (x :: acc) rest
+    | [] -> (List.rev acc, [])
+  in
+  let before, after = cut [] b.insts in
+  let nb = add_block f ~label in
+  b.insts <- before;
+  nb.insts <- after;
+  List.iter (fun id -> (Func.inst f id).parent <- nb.bid) after;
+  (* successors' phis must now name the new block *)
+  List.iter
+    (fun s -> rewrite_phi_pred f s ~old_pred:bid ~new_pred:nb.bid)
+    (Func.successors f nb.bid);
+  ignore (set_term f bid (Br nb.bid));
+  nb
+
+(** Delete block [bid] (must be unreachable: no predecessors). *)
+let erase_block (f : Func.t) bid =
+  let b = Func.block f bid in
+  List.iter (fun s -> remove_phi_incoming f s ~pred:bid) (Func.successors f bid);
+  List.iter (fun id -> Hashtbl.remove f.Func.body id) b.insts;
+  Hashtbl.remove f.Func.blks bid;
+  f.Func.blocks <- List.filter (fun x -> x <> bid) f.Func.blocks
+
+(** Deep-copy a function under a new name.  Returns the clone. *)
+let clone_func (f : Func.t) ~name =
+  let g =
+    Func.create ~name
+      ~params:(Array.to_list f.Func.params)
+      ~ret:f.Func.ret
+  in
+  g.Func.next_id <- f.Func.next_id;
+  g.Func.blocks <- f.Func.blocks;
+  Hashtbl.iter
+    (fun id (i : inst) ->
+      Hashtbl.replace g.Func.body id { i with op = i.op })
+    f.Func.body;
+  Hashtbl.iter
+    (fun id (b : Func.block) ->
+      Hashtbl.replace g.Func.blks id { b with insts = b.insts })
+    f.Func.blks;
+  g
+
+(** Simplify trivial phis ([Phi [(p, v)]] or all-same-value phis) away.
+    Returns the number of phis removed.  Used after CFG surgery. *)
+let simplify_phis (f : Func.t) =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let to_remove = ref [] in
+    Func.iter_insts
+      (fun i ->
+        match i.op with
+        | Phi [] -> ()
+        | Phi incs -> (
+          (* self-references do not count: phi [v, self, v] == v *)
+          let others =
+            List.filter
+              (fun (_, v) -> not (Instr.value_equal v (Reg i.id)))
+              incs
+          in
+          match others with
+          | (_, v0) :: rest
+            when List.for_all (fun (_, v) -> Instr.value_equal v v0) rest ->
+            to_remove := (i.id, v0) :: !to_remove
+          | _ -> ())
+        | _ -> ())
+      f;
+    List.iter
+      (fun (id, v) ->
+        replace_uses f ~old:id ~by:v;
+        remove f id;
+        incr removed;
+        changed := true)
+      !to_remove
+  done;
+  !removed
+
+(** Remove phis that are only used by other dead phis (mem2reg can leave
+    closed cycles of dead phis rotating a dead value around a loop nest).
+    Returns the number removed. *)
+let dce_phis (f : Func.t) =
+  let is_phi id =
+    match Func.inst_opt f id with
+    | Some { op = Phi _; _ } -> true
+    | _ -> false
+  in
+  (* a phi is live if some non-phi uses it, or a live phi uses it *)
+  let live = Hashtbl.create 32 in
+  let work = Queue.create () in
+  Func.iter_insts
+    (fun i ->
+      match i.op with
+      | Phi _ -> ()
+      | op ->
+        List.iter
+          (function
+            | Reg r when is_phi r && not (Hashtbl.mem live r) ->
+              Hashtbl.replace live r ();
+              Queue.add r work
+            | _ -> ())
+          (Instr.operands op))
+    f;
+  while not (Queue.is_empty work) do
+    let p = Queue.pop work in
+    match (Func.inst f p).op with
+    | Phi incs ->
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Reg r when is_phi r && not (Hashtbl.mem live r) ->
+            Hashtbl.replace live r ();
+            Queue.add r work
+          | _ -> ())
+        incs
+    | _ -> ()
+  done;
+  let dead =
+    Func.fold_insts
+      (fun acc i ->
+        match i.op with
+        | Phi _ when not (Hashtbl.mem live i.id) -> i.id :: acc
+        | _ -> acc)
+      [] f
+  in
+  (* dead phis may reference each other: clear operands first *)
+  List.iter (fun id -> (Func.inst f id).op <- Phi [] ) dead;
+  List.iter (fun id -> remove f id) dead;
+  List.length dead
+
+(** Remove instructions with no users and no side effects.  Returns the
+    number removed. *)
+let dce (f : Func.t) =
+  let removed = ref 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    let used = Hashtbl.create 64 in
+    Func.iter_insts
+      (fun i ->
+        List.iter
+          (function Reg r -> Hashtbl.replace used r () | _ -> ())
+          (Instr.operands i.op))
+      f;
+    let dead =
+      Func.fold_insts
+        (fun acc i ->
+          let side_effecting =
+            match i.op with
+            | Store _ | Call _ | Br _ | Cbr _ | Ret _ | Unreachable | Alloca _ -> true
+            | _ -> false
+          in
+          if (not side_effecting) && not (Hashtbl.mem used i.id) then i.id :: acc
+          else acc)
+        [] f
+    in
+    List.iter (fun id -> remove f id; incr removed; changed := true) dead
+  done;
+  !removed

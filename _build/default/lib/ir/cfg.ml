@@ -1,0 +1,50 @@
+(** Control-flow graph utilities over {!Func}. *)
+
+(** Blocks reachable from the entry, in reverse postorder. *)
+let reverse_postorder (f : Func.t) =
+  let visited = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec dfs b =
+    if not (Hashtbl.mem visited b) then begin
+      Hashtbl.replace visited b ();
+      List.iter dfs (Func.successors f b);
+      order := b :: !order
+    end
+  in
+  if f.Func.blocks <> [] then dfs (Func.entry f);
+  !order
+
+(** Set of blocks reachable from entry. *)
+let reachable (f : Func.t) =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace tbl b ()) (reverse_postorder f);
+  tbl
+
+(** Remove blocks not reachable from the entry (fixing up phis).  Returns
+    the number of blocks removed. *)
+let prune_unreachable (f : Func.t) =
+  let live = reachable f in
+  let dead = List.filter (fun b -> not (Hashtbl.mem live b)) f.Func.blocks in
+  List.iter
+    (fun bid ->
+      List.iter
+        (fun s -> if Hashtbl.mem live s then Builder.remove_phi_incoming f s ~pred:bid)
+        (Func.successors f bid))
+    dead;
+  List.iter
+    (fun bid ->
+      let b = Func.block f bid in
+      List.iter (fun id -> Hashtbl.remove f.Func.body id) b.Func.insts;
+      Hashtbl.remove f.Func.blks bid)
+    dead;
+  f.Func.blocks <- List.filter (fun b -> Hashtbl.mem live b) f.Func.blocks;
+  List.length dead
+
+(** Exit blocks: blocks whose terminator is [Ret] or [Unreachable]. *)
+let exit_blocks (f : Func.t) =
+  List.filter
+    (fun b ->
+      match Func.terminator f b with
+      | Some { Instr.op = Instr.Ret _ | Instr.Unreachable; _ } -> true
+      | _ -> false)
+    f.Func.blocks

@@ -1,0 +1,451 @@
+(** IR interpreter.
+
+    Executes a module with a word-granularity memory model.  The interpreter
+    is the substrate that replaces native execution in this reproduction:
+    NOELLE's profilers ({!Noelle.Profiler} in [lib/core]) hook instruction /
+    block / call / memory events; the parallel runtime ([lib/psim]) registers
+    extra builtins (queues, signals, task spawning) and drives task functions
+    as effect-based fibers with per-core virtual clocks; CARAT and COOS
+    register their runtime entry points the same way.
+
+    Addresses are plain integers (words).  Address 0 is the null pointer and
+    never allocated.  Every allocation (global, alloca, malloc) is recorded
+    in an allocation table so that guard runtimes can validate accesses. *)
+
+type v = VI of int64 | VF of float | VP of int
+
+exception Trap of string
+
+let trap fmt = Printf.ksprintf (fun s -> raise (Trap s)) fmt
+
+let v_to_string = function
+  | VI n -> Int64.to_string n
+  | VF f -> Printf.sprintf "%.6g" f
+  | VP p -> Printf.sprintf "&%d" p
+
+type alloc = { base : int; size : int; mutable alive : bool }
+
+type hooks = {
+  mutable on_block : (Func.t -> int -> unit) option;
+      (** called when control enters a basic block *)
+  mutable on_inst : (Func.t -> Instr.inst -> unit) option;
+      (** called before each executed instruction *)
+  mutable on_call : (caller:string -> callee:string -> unit) option;
+      (** called for every direct/indirect/builtin call *)
+  mutable on_mem : (Func.t -> Instr.inst -> addr:int -> write:bool -> unit) option;
+      (** called for every load/store with its resolved address *)
+}
+
+type state = {
+  m : Irmod.t;
+  mutable mem : v array;
+  mutable brk : int;                       (** bump pointer: next free word *)
+  allocs : (int, alloc) Hashtbl.t;         (** base address -> allocation *)
+  global_addr : (string, int) Hashtbl.t;
+  fun_addr : (string, int) Hashtbl.t;
+  addr_fun : (int, string) Hashtbl.t;
+  output : Buffer.t;                       (** text written by print builtins *)
+  mutable steps : int;                     (** executed instructions (global) *)
+  mutable fuel : int;                      (** remaining instruction budget *)
+  mutable clock : int64;                   (** per-task virtual cycles (swappable) *)
+  hooks : hooks;
+  builtins : (string, builtin) Hashtbl.t;
+  mutable rng : int64;                     (** state of the default rand() *)
+  user : (string, int64) Hashtbl.t;        (** scratch counters for tool runtimes *)
+}
+
+and builtin = state -> v list -> v
+
+(* function addresses live far above data so they can never collide *)
+let fun_addr_base = 1 lsl 40
+
+let ensure_capacity st n =
+  let cap = Array.length st.mem in
+  if n > cap then begin
+    let ncap = max (2 * cap) (n + 1024) in
+    let nm = Array.make ncap (VI 0L) in
+    Array.blit st.mem 0 nm 0 cap;
+    st.mem <- nm
+  end
+
+(** Allocate [size] words; returns the base address. *)
+let allocate st size =
+  if size < 0 then trap "negative allocation size %d" size;
+  let base = st.brk in
+  st.brk <- st.brk + max size 1;
+  ensure_capacity st st.brk;
+  Hashtbl.replace st.allocs base { base; size; alive = true };
+  base
+
+let load_word st addr =
+  if addr <= 0 || addr >= st.brk then trap "load from invalid address %d" addr;
+  st.mem.(addr)
+
+let store_word st addr v =
+  if addr <= 0 || addr >= st.brk then trap "store to invalid address %d" addr;
+  st.mem.(addr) <- v
+
+(** Does [addr] fall inside a live allocation?  Used by the CARAT runtime. *)
+let addr_is_guarded_valid st addr =
+  (* linear scan over allocations is fine at our scale; allocations are
+     keyed by base so find the one covering addr *)
+  Hashtbl.fold
+    (fun _ a ok -> ok || (a.alive && addr >= a.base && addr < a.base + a.size))
+    st.allocs false
+
+let as_int = function
+  | VI n -> n
+  | VP p -> Int64.of_int p
+  | VF f -> trap "expected integer, got float %g" f
+
+let as_float = function
+  | VF f -> f
+  | VI n -> trap "expected float, got int %Ld" n
+  | VP p -> trap "expected float, got pointer %d" p
+
+let as_ptr = function
+  | VP p -> p
+  | VI n -> Int64.to_int n
+  | VF f -> trap "expected pointer, got float %g" f
+
+(* ------------------------------------------------------------------ *)
+(* Default builtins                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let default_builtins () : (string * builtin) list =
+  let b1f name fn : string * builtin =
+    (name, fun _ args ->
+      match args with
+      | [ a ] -> VF (fn (as_float a))
+      | _ -> trap "%s: expected 1 argument" name)
+  in
+  [
+    ("print",
+     fun st args ->
+       (match args with
+       | [ a ] -> Buffer.add_string st.output (v_to_string a ^ "\n")
+       | _ -> trap "print: expected 1 argument");
+       VI 0L);
+    ("print_float",
+     fun st args ->
+       (match args with
+       | [ a ] -> Buffer.add_string st.output (Printf.sprintf "%.6f\n" (as_float a))
+       | _ -> trap "print_float: expected 1 argument");
+       VI 0L);
+    ("malloc",
+     fun st args ->
+       match args with
+       | [ n ] -> VP (allocate st (Int64.to_int (as_int n)))
+       | _ -> trap "malloc: expected 1 argument");
+    ("free",
+     fun st args ->
+       (match args with
+       | [ p ] -> (
+         let base = as_ptr p in
+         match Hashtbl.find_opt st.allocs base with
+         | Some a -> a.alive <- false
+         | None -> trap "free: %d is not an allocation base" base)
+       | _ -> trap "free: expected 1 argument");
+       VI 0L);
+    ("srand",
+     fun st args ->
+       (match args with
+       | [ s ] -> st.rng <- as_int s
+       | _ -> trap "srand: expected 1 argument");
+       VI 0L);
+    ("rand",
+     fun st args ->
+       (match args with [] -> () | _ -> trap "rand: expected no arguments");
+       (* deterministic 64-bit LCG (MMIX constants), truncated to 31 bits *)
+       st.rng <-
+         Int64.add (Int64.mul st.rng 6364136223846793005L) 1442695040888963407L;
+       VI (Int64.logand (Int64.shift_right_logical st.rng 33) 0x7fffffffL));
+    ("clock",
+     fun st args ->
+       (match args with [] -> () | _ -> trap "clock: expected no arguments");
+       VI (Int64.of_int st.steps));
+    b1f "sqrt" sqrt;
+    b1f "exp" exp;
+    b1f "log" log;
+    b1f "sin" sin;
+    b1f "cos" cos;
+    b1f "fabs" Float.abs;
+    b1f "floor" Float.floor;
+    ("pow",
+     fun _ args ->
+       match args with
+       | [ a; b ] -> VF (Float.pow (as_float a) (as_float b))
+       | _ -> trap "pow: expected 2 arguments");
+    ("i64_min",
+     fun _ args ->
+       match args with
+       | [ a; b ] -> VI (Int64.min (as_int a) (as_int b))
+       | _ -> trap "i64_min: expected 2 arguments");
+    ("i64_max",
+     fun _ args ->
+       match args with
+       | [ a; b ] -> VI (Int64.max (as_int a) (as_int b))
+       | _ -> trap "i64_max: expected 2 arguments");
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* State construction                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Create an execution state for module [m]: allocates and initializes
+    globals, assigns function addresses, installs default builtins. *)
+let create (m : Irmod.t) : state =
+  let st =
+    {
+      m;
+      mem = Array.make 4096 (VI 0L);
+      brk = 16;
+      allocs = Hashtbl.create 64;
+      global_addr = Hashtbl.create 16;
+      fun_addr = Hashtbl.create 16;
+      addr_fun = Hashtbl.create 16;
+      output = Buffer.create 256;
+      steps = 0;
+      fuel = 200_000_000;
+      clock = 0L;
+      hooks = { on_block = None; on_inst = None; on_call = None; on_mem = None };
+      builtins = Hashtbl.create 16;
+      rng = 88172645463325252L;
+      user = Hashtbl.create 8;
+    }
+  in
+  List.iter (fun (n, f) -> Hashtbl.replace st.builtins n f) (default_builtins ());
+  List.iter
+    (fun (g : Irmod.global) ->
+      let base = allocate st g.size in
+      Hashtbl.replace st.global_addr g.gname base;
+      match g.init with
+      | None -> ()
+      | Some vs ->
+        Array.iteri
+          (fun i v ->
+            if i < g.size then
+              st.mem.(base + i) <-
+                (match v with
+                | Instr.Cint n -> VI n
+                | Instr.Cfloat f -> VF f
+                | Instr.Null -> VP 0
+                | _ -> trap "global %s: non-constant initializer" g.gname))
+          vs)
+    (Irmod.globals m);
+  List.iteri
+    (fun i f ->
+      let addr = fun_addr_base + i in
+      Hashtbl.replace st.fun_addr f.Func.fname addr;
+      Hashtbl.replace st.addr_fun addr f.Func.fname)
+    (Irmod.functions m);
+  st
+
+let register_builtin st name fn = Hashtbl.replace st.builtins name fn
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let shift_mask n = Int64.to_int (Int64.logand n 63L)
+
+let eval_bin op a b =
+  let open Instr in
+  match op with
+  | Add -> Int64.add a b
+  | Sub -> Int64.sub a b
+  | Mul -> Int64.mul a b
+  | Sdiv -> if Int64.equal b 0L then trap "division by zero" else Int64.div a b
+  | Srem -> if Int64.equal b 0L then trap "remainder by zero" else Int64.rem a b
+  | And -> Int64.logand a b
+  | Or -> Int64.logor a b
+  | Xor -> Int64.logxor a b
+  | Shl -> Int64.shift_left a (shift_mask b)
+  | Ashr -> Int64.shift_right a (shift_mask b)
+
+let eval_fbin op a b =
+  let open Instr in
+  match op with
+  | Fadd -> a +. b
+  | Fsub -> a -. b
+  | Fmul -> a *. b
+  | Fdiv -> a /. b
+
+let eval_cmp (cmp : Instr.cmp) c =
+  match cmp with
+  | Eq -> c = 0
+  | Ne -> c <> 0
+  | Slt -> c < 0
+  | Sle -> c <= 0
+  | Sgt -> c > 0
+  | Sge -> c >= 0
+
+(** Call the function named [fname] with [args].  Returns its return value
+    ([VI 0L] for void).  Builtins, defined functions and declarations that
+    resolve to builtins are all accepted. *)
+let rec call (st : state) (fname : string) (args : v list) : v =
+  match Hashtbl.find_opt st.builtins fname with
+  | Some b -> b st args
+  | None -> (
+    match Irmod.func_opt st.m fname with
+    | Some f when not f.Func.is_declaration -> exec_func st f (Array.of_list args)
+    | Some _ -> trap "call to declaration %s with no builtin" fname
+    | None -> trap "call to unknown function %s" fname)
+
+and exec_func (st : state) (f : Func.t) (args : v array) : v =
+  if Array.length args <> Array.length f.Func.params then
+    trap "%s: expected %d arguments, got %d" f.Func.fname
+      (Array.length f.Func.params) (Array.length args);
+  let regs : (int, v) Hashtbl.t = Hashtbl.create 64 in
+  let frame_allocs = ref [] in
+  let eval = function
+    | Instr.Cint n -> VI n
+    | Instr.Cfloat x -> VF x
+    | Instr.Null -> VP 0
+    | Instr.Arg i -> args.(i)
+    | Instr.Reg r -> (
+      match Hashtbl.find_opt regs r with
+      | Some v -> v
+      | None -> trap "%s: register %%%d read before definition" f.Func.fname r)
+    | Instr.Glob g -> (
+      match Hashtbl.find_opt st.global_addr g with
+      | Some a -> VP a
+      | None -> (
+        match Hashtbl.find_opt st.fun_addr g with
+        | Some a -> VP a
+        | None -> trap "%s: unknown global @%s" f.Func.fname g))
+  in
+  let result = ref (VI 0L) in
+  let finished = ref false in
+  let cur = ref (Func.entry f) in
+  let prev = ref (-1) in
+  while not !finished do
+    (match st.hooks.on_block with Some h -> h f !cur | None -> ());
+    let insts = Func.insts_of_block f !cur in
+    (* phis evaluate atomically against the incoming edge *)
+    let phis, rest =
+      List.partition (fun i -> match i.Instr.op with Instr.Phi _ -> true | _ -> false) insts
+    in
+    let phi_vals =
+      List.map
+        (fun (i : Instr.inst) ->
+          match i.Instr.op with
+          | Instr.Phi incs -> (
+            match List.assoc_opt !prev incs with
+            | Some v -> (i.Instr.id, eval v)
+            | None ->
+              trap "%s: phi %%%d has no incoming value for block %d" f.Func.fname
+                i.Instr.id !prev)
+          | _ -> assert false)
+        phis
+    in
+    List.iter
+      (fun (i : Instr.inst) ->
+        st.steps <- st.steps + 1;
+        st.clock <- Int64.add st.clock 1L;
+        match st.hooks.on_inst with Some h -> h f i | None -> ())
+      phis;
+    List.iter (fun (id, v) -> Hashtbl.replace regs id v) phi_vals;
+    let terminated = ref false in
+    List.iter
+      (fun (i : Instr.inst) ->
+        if not !terminated then begin
+          st.steps <- st.steps + 1;
+          st.clock <- Int64.add st.clock 1L;
+          st.fuel <- st.fuel - 1;
+          if st.fuel <= 0 then trap "out of fuel (infinite loop?)";
+          (match st.hooks.on_inst with Some h -> h f i | None -> ());
+          match i.Instr.op with
+          | Instr.Bin (op, a, b) ->
+            Hashtbl.replace regs i.Instr.id (VI (eval_bin op (as_int (eval a)) (as_int (eval b))))
+          | Instr.Fbin (op, a, b) ->
+            Hashtbl.replace regs i.Instr.id
+              (VF (eval_fbin op (as_float (eval a)) (as_float (eval b))))
+          | Instr.Icmp (c, a, b) ->
+            let x = as_int (eval a) and y = as_int (eval b) in
+            Hashtbl.replace regs i.Instr.id
+              (VI (if eval_cmp c (Int64.compare x y) then 1L else 0L))
+          | Instr.Fcmp (c, a, b) ->
+            let x = as_float (eval a) and y = as_float (eval b) in
+            Hashtbl.replace regs i.Instr.id
+              (VI (if eval_cmp c (Float.compare x y) then 1L else 0L))
+          | Instr.Cast (k, a) ->
+            let v = eval a in
+            Hashtbl.replace regs i.Instr.id
+              (match k with
+              | Instr.Sitofp -> VF (Int64.to_float (as_int v))
+              | Instr.Fptosi -> VI (Int64.of_float (as_float v))
+              | Instr.Ptrtoint -> VI (Int64.of_int (as_ptr v))
+              | Instr.Inttoptr -> VP (Int64.to_int (as_int v)))
+          | Instr.Alloca n ->
+            let base = allocate st (Int64.to_int (as_int (eval n))) in
+            frame_allocs := base :: !frame_allocs;
+            Hashtbl.replace regs i.Instr.id (VP base)
+          | Instr.Load p ->
+            let addr = as_ptr (eval p) in
+            (match st.hooks.on_mem with Some h -> h f i ~addr ~write:false | None -> ());
+            Hashtbl.replace regs i.Instr.id (load_word st addr)
+          | Instr.Store (x, p) ->
+            let addr = as_ptr (eval p) in
+            (match st.hooks.on_mem with Some h -> h f i ~addr ~write:true | None -> ());
+            store_word st addr (eval x)
+          | Instr.Gep (p, idx) ->
+            Hashtbl.replace regs i.Instr.id
+              (VP (as_ptr (eval p) + Int64.to_int (as_int (eval idx))))
+          | Instr.Call (callee, cargs) ->
+            let name =
+              match callee with
+              | Instr.Glob g -> g
+              | v -> (
+                let addr = as_ptr (eval v) in
+                match Hashtbl.find_opt st.addr_fun addr with
+                | Some n -> n
+                | None -> trap "%s: indirect call to non-function address %d" f.Func.fname addr)
+            in
+            (match st.hooks.on_call with
+            | Some h -> h ~caller:f.Func.fname ~callee:name
+            | None -> ());
+            let r = call st name (List.map eval cargs) in
+            if not (Ty.equal i.Instr.ty Ty.Void) then Hashtbl.replace regs i.Instr.id r
+          | Instr.Phi _ -> ()  (* handled above *)
+          | Instr.Select (c, a, b) ->
+            Hashtbl.replace regs i.Instr.id
+              (if Int64.equal (as_int (eval c)) 0L then eval b else eval a)
+          | Instr.Br b ->
+            prev := !cur; cur := b; terminated := true
+          | Instr.Cbr (c, t, e) ->
+            prev := !cur;
+            cur := (if Int64.equal (as_int (eval c)) 0L then e else t);
+            terminated := true
+          | Instr.Ret vo ->
+            result := (match vo with Some v -> eval v | None -> VI 0L);
+            finished := true;
+            terminated := true
+          | Instr.Unreachable -> trap "%s: reached unreachable" f.Func.fname
+        end)
+      rest
+  done;
+  (* free frame allocas *)
+  List.iter
+    (fun base ->
+      match Hashtbl.find_opt st.allocs base with
+      | Some a -> a.alive <- false
+      | None -> ())
+    !frame_allocs;
+  !result
+
+(** Run [main] (or [entry]) with integer arguments; returns (exit value,
+    program output). *)
+let run ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) =
+  let st = create m in
+  (match fuel with Some f -> st.fuel <- f | None -> ());
+  let r = call st entry (List.map (fun n -> VI (Int64.of_int n)) args) in
+  (r, Buffer.contents st.output)
+
+(** Like {!run} but returns the full state for inspection. *)
+let run_state ?(entry = "main") ?(args = []) ?fuel ?(configure = fun (_ : state) -> ()) (m : Irmod.t) =
+  let st = create m in
+  (match fuel with Some f -> st.fuel <- f | None -> ());
+  configure st;
+  let r = call st entry (List.map (fun n -> VI (Int64.of_int n)) args) in
+  (r, st)

@@ -1,0 +1,67 @@
+(** IR modules (compilation units).
+
+    A module owns named globals and functions plus a metadata table
+    ({!Meta}).  Function order is tracked so printing is deterministic.
+    [noelle-whole-IR] and [noelle-linker] (see {!Linker}) merge modules. *)
+
+type global = {
+  gname : string;
+  size : int;                          (** size in words *)
+  init : Instr.value array option;     (** constant initializer (Cint/Cfloat) *)
+}
+
+type t = {
+  mname : string;
+  globals : (string, global) Hashtbl.t;
+  funcs : (string, Func.t) Hashtbl.t;
+  mutable gorder : string list;        (** globals in declaration order *)
+  mutable forder : string list;        (** functions in declaration order *)
+  meta : Meta.t;
+}
+
+let create ?(name = "module") () =
+  {
+    mname = name;
+    globals = Hashtbl.create 16;
+    funcs = Hashtbl.create 16;
+    gorder = [];
+    forder = [];
+    meta = Meta.create ();
+  }
+
+let add_global (m : t) (g : global) =
+  if not (Hashtbl.mem m.globals g.gname) then m.gorder <- m.gorder @ [ g.gname ];
+  Hashtbl.replace m.globals g.gname g
+
+let add_func (m : t) (f : Func.t) =
+  if not (Hashtbl.mem m.funcs f.Func.fname) then m.forder <- m.forder @ [ f.Func.fname ];
+  Hashtbl.replace m.funcs f.Func.fname f
+
+let remove_func (m : t) name =
+  Hashtbl.remove m.funcs name;
+  m.forder <- List.filter (fun n -> not (String.equal n name)) m.forder
+
+let func (m : t) name =
+  match Hashtbl.find_opt m.funcs name with
+  | Some f -> f
+  | None -> invalid_arg (Printf.sprintf "Irmod.func: no function %s" name)
+
+let func_opt (m : t) name = Hashtbl.find_opt m.funcs name
+let global_opt (m : t) name = Hashtbl.find_opt m.globals name
+
+(** Functions in declaration order. *)
+let functions (m : t) = List.map (func m) m.forder
+
+(** Functions that have a body, in declaration order. *)
+let defined_functions (m : t) =
+  List.filter (fun f -> not f.Func.is_declaration) (functions m)
+
+let globals (m : t) =
+  List.map (fun n -> Hashtbl.find m.globals n) m.gorder
+
+let iter_funcs fn (m : t) = List.iter fn (functions m)
+
+(** Total number of instructions across all function bodies; the stand-in
+    for "binary size" in the Dead Function Elimination experiment. *)
+let total_insts (m : t) =
+  List.fold_left (fun n f -> n + Func.num_insts f) 0 (defined_functions m)

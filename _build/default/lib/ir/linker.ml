@@ -1,0 +1,52 @@
+(** IR-level linker.
+
+    Implements the substrate behind [noelle-whole-IR] and [noelle-linker]:
+    merging several modules into one whole-program module while preserving
+    NOELLE metadata.  Name clashes on defined symbols are an error;
+    declarations are satisfied by definitions from any input module. *)
+
+exception Link_error of string
+
+let faill fmt = Printf.ksprintf (fun s -> raise (Link_error s)) fmt
+
+(** Link [ms] (in order) into a fresh module named [name].  Metadata tables
+    are merged; a duplicated metadata key must agree on its value. *)
+let link ?(name = "whole") (ms : Irmod.t list) : Irmod.t =
+  let out = Irmod.create ~name () in
+  List.iter
+    (fun (m : Irmod.t) ->
+      List.iter
+        (fun (g : Irmod.global) ->
+          match Irmod.global_opt out g.gname with
+          | None -> Irmod.add_global out g
+          | Some g0 ->
+            if g0.size <> g.size then
+              faill "global @%s defined with different sizes (%d vs %d)" g.gname
+                g0.size g.size
+            else if g0.init = None && g.init <> None then
+              Irmod.add_global out g
+            else if g0.init <> None && g.init <> None && g0.init <> g.init then
+              faill "global @%s has conflicting initializers" g.gname)
+        (Irmod.globals m);
+      List.iter
+        (fun (f : Func.t) ->
+          match Irmod.func_opt out f.Func.fname with
+          | None -> Irmod.add_func out f
+          | Some f0 ->
+            if f0.Func.is_declaration && not f.Func.is_declaration then begin
+              Irmod.remove_func out f0.Func.fname;
+              Irmod.add_func out f
+            end
+            else if (not f0.Func.is_declaration) && not f.Func.is_declaration then
+              faill "function @%s defined in multiple modules" f.Func.fname)
+        (Irmod.functions m);
+      Meta.iter_sorted
+        (fun k v ->
+          match Meta.get out.Irmod.meta k with
+          | None -> Meta.set out.Irmod.meta k v
+          | Some v0 when String.equal v v0 -> ()
+          | Some v0 ->
+            faill "metadata key %s has conflicting values (%s vs %s)" k v0 v)
+        m.Irmod.meta)
+    ms;
+  out

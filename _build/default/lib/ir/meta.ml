@@ -1,0 +1,45 @@
+(** Module-level metadata.
+
+    NOELLE's tools communicate by embedding analysis results (profiles, the
+    PDG, compilation options) as metadata in the IR file.  We reproduce this
+    with a string key/value table attached to each module; keys are
+    namespaced ("prof.block.<fn>.<bid>", "pdg.edge.<n>", "option.<name>",
+    ...) and survive printing/parsing round trips. *)
+
+type t = (string, string) Hashtbl.t
+
+let create () : t = Hashtbl.create 64
+
+let set (t : t) k v = Hashtbl.replace t k v
+let get (t : t) k = Hashtbl.find_opt t k
+let get_int (t : t) k = Option.bind (get t k) int_of_string_opt
+let get_float (t : t) k = Option.bind (get t k) float_of_string_opt
+let set_int (t : t) k v = set t k (string_of_int v)
+let set_float (t : t) k v = set t k (Printf.sprintf "%.17g" v)
+let remove (t : t) k = Hashtbl.remove t k
+let mem (t : t) k = Hashtbl.mem t k
+
+(** All keys with the given prefix, sorted for determinism. *)
+let keys_with_prefix (t : t) prefix =
+  Hashtbl.fold
+    (fun k _ acc ->
+      if String.length k >= String.length prefix
+         && String.sub k 0 (String.length prefix) = prefix
+      then k :: acc
+      else acc)
+    t []
+  |> List.sort String.compare
+
+(** Remove every key with the given prefix (e.g. "prof." for
+    noelle-meta-clean). *)
+let clear_prefix (t : t) prefix =
+  List.iter (Hashtbl.remove t) (keys_with_prefix t prefix)
+
+let iter_sorted fn (t : t) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  |> List.iter (fun (k, v) -> fn k v)
+
+let cardinal (t : t) = Hashtbl.length t
+
+let copy (t : t) : t = Hashtbl.copy t

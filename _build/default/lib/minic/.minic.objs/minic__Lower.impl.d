@@ -1,0 +1,1 @@
+lib/minic/lower.ml: Array Ast Builder Func Hashtbl Instr Int64 Ir Irmod List Mem2reg Option Parser Printf Simplify Ty Verify

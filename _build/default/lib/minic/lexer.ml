@@ -1,0 +1,95 @@
+(** Lexer for Mini-C. *)
+
+exception Error of string
+
+type tok =
+  | TID of string
+  | TINT of int64
+  | TFLOAT of float
+  | TPUNCT of string   (** operators and punctuation, longest match *)
+  | TEOF
+
+let tok_str = function
+  | TID s -> s
+  | TINT n -> Int64.to_string n
+  | TFLOAT f -> string_of_float f
+  | TPUNCT s -> s
+  | TEOF -> "<eof>"
+
+let puncts =
+  (* ordered longest-first for maximal munch *)
+  [ "<<="; ">>="; "&&"; "||"; "=="; "!="; "<="; ">="; "<<"; ">>"; "+="; "-=";
+    "*="; "/="; "%="; "&="; "|="; "^="; "++"; "--"; "->";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "{"; "}"; "["; "]"; ";"; ","; "?"; ":" ]
+
+let is_id_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+(** Tokenize [src]; returns tokens paired with line numbers. *)
+let tokenize (src : string) : (tok * int) array =
+  let n = String.length src in
+  let out = ref [] in
+  let line = ref 1 in
+  let i = ref 0 in
+  let push t = out := (t, !line) :: !out in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then (incr line; incr i)
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      while !i < n && src.[!i] <> '\n' do incr i done
+    end
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '*' then begin
+      i := !i + 2;
+      let fin = ref false in
+      while not !fin do
+        if !i + 1 >= n then raise (Error (Printf.sprintf "line %d: unterminated comment" !line));
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && src.[!i + 1] = '/' then (fin := true; i := !i + 2)
+        else incr i
+      done
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do incr i done;
+      let isfloat = ref false in
+      if !i < n && src.[!i] = '.' && !i + 1 < n && is_digit src.[!i + 1] then begin
+        isfloat := true;
+        incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      if !i < n && (src.[!i] = 'e' || src.[!i] = 'E') then begin
+        isfloat := true;
+        incr i;
+        if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+        while !i < n && is_digit src.[!i] do incr i done
+      end;
+      let s = String.sub src start (!i - start) in
+      if !isfloat then push (TFLOAT (float_of_string s))
+      else push (TINT (Int64.of_string s))
+    end
+    else if is_id_start c then begin
+      let start = !i in
+      while !i < n && is_id_char src.[!i] do incr i done;
+      push (TID (String.sub src start (!i - start)))
+    end
+    else begin
+      let matched =
+        List.find_opt
+          (fun p ->
+            let lp = String.length p in
+            !i + lp <= n && String.sub src !i lp = p)
+          puncts
+      in
+      match matched with
+      | Some p ->
+        push (TPUNCT p);
+        i := !i + String.length p
+      | None ->
+        raise (Error (Printf.sprintf "line %d: unexpected character %C" !line c))
+    end
+  done;
+  push TEOF;
+  Array.of_list (List.rev !out)

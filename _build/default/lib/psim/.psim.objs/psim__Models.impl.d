@@ -1,0 +1,1 @@
+lib/psim/models.ml: Float List

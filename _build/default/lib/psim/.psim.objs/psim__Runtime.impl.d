@@ -1,0 +1,1 @@
+lib/psim/runtime.ml: Buffer Effect Hashtbl Int64 Interp Ir Irmod List Noelle Queue

@@ -1,0 +1,62 @@
+(** Analytic performance models for the three parallelization strategies.
+
+    The fiber simulator in {!Runtime} measures parallel time by execution;
+    these closed-form models predict it from profile numbers alone.  The
+    benchmark harness uses them as a cross-check (the ablation bench
+    compares model vs simulation) and to reason about crossover points
+    (e.g. minimum iterations for DOALL to win, maximum sequential-segment
+    fraction for HELIX to scale). *)
+
+type params = {
+  cores : int;
+  latency : float;        (** core-to-core latency, cycles *)
+  spawn : float;          (** per-task spawn cost, cycles *)
+  join : float;           (** join barrier cost, cycles *)
+}
+
+let default_params =
+  { cores = 12; latency = 60.0; spawn = 400.0; join = 400.0 }
+
+(** DOALL over [iters] iterations of [work] cycles each: iterations are
+    split cyclically, no cross-core communication. *)
+let doall_time (p : params) ~iters ~work =
+  let per_core = ceil (iters /. float_of_int p.cores) in
+  (per_core *. work) +. (p.spawn *. float_of_int p.cores) +. p.join
+
+(** HELIX: each iteration has a sequential segment of [seq] cycles that
+    must execute in iteration order across cores (paying a signal latency
+    per hand-off) while the remaining [work - seq] cycles overlap. *)
+let helix_time (p : params) ~iters ~work ~seq =
+  let c = float_of_int p.cores in
+  let par = work -. seq in
+  (* the sequential chain serializes: one segment + hand-off per iteration;
+     the parallel part is limited by cores *)
+  let chain = iters *. (seq +. p.latency) in
+  let overlap = iters *. par /. c in
+  Float.max chain overlap +. (p.spawn *. c) +. p.join
+
+(** DSWP with stage weights [stages] (cycles/iteration each): throughput
+    is bounded by the heaviest stage; each cross-stage value pays queue
+    latency once (pipelined, so it adds to the fill time not the steady
+    state). *)
+let dswp_time (p : params) ~iters ~stages =
+  match stages with
+  | [] -> p.join
+  | _ ->
+    let bottleneck = List.fold_left Float.max 0.0 stages in
+    let fill =
+      float_of_int (List.length stages - 1) *. (p.latency +. bottleneck)
+    in
+    (iters *. bottleneck) +. fill
+    +. (p.spawn *. float_of_int (List.length stages))
+    +. p.join
+
+(** Speedup of a technique time vs the sequential time [iters * work]. *)
+let speedup ~seq_time ~par_time = if par_time <= 0.0 then 1.0 else seq_time /. par_time
+
+(** Minimum iteration count for DOALL to be profitable (speedup > 1). *)
+let doall_min_iters (p : params) ~work =
+  let overhead = (p.spawn *. float_of_int p.cores) +. p.join in
+  let c = float_of_int p.cores in
+  (* iters * work > iters * work / c + overhead *)
+  overhead /. (work -. (work /. c)) |> ceil

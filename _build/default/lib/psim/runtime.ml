@@ -1,0 +1,261 @@
+(** Parallel-execution runtime and multicore simulator.
+
+    This is the reproduction's stand-in for the paper's 12-core Xeon: it
+    executes the task functions emitted by the parallelizing custom tools
+    (DOALL / HELIX / DSWP) as deterministic fibers (OCaml effect handlers)
+    over the IR interpreter, while accounting {e virtual time}:
+
+    - every executed IR instruction costs one cycle on its virtual core;
+    - queue pushes and signal sets stamp their data with the producer's
+      clock plus the core-to-core latency from {!Noelle.Arch};
+    - queue pops and signal waits advance the consumer's clock to the
+      stamp (communication/stall cost);
+    - task spawn and join pay fixed thread-pool overheads.
+
+    The result is a discrete-event simulation whose sequential semantics
+    are exact (the tests compare program outputs against the unparallelized
+    original) and whose timing reproduces the cost trade-offs each
+    technique makes, which is what Figure 5 measures. *)
+
+open Ir
+
+type _ Effect.t += Block : (unit -> bool) -> unit Effect.t
+
+(** Cost model (cycles). *)
+let spawn_cost = 400L
+let join_cost = 400L
+
+type task = {
+  tid : int;
+  fname : string;
+  targs : Interp.v list;
+  mutable clock : int64;
+}
+
+type t = {
+  st : Interp.state;
+  mutable latency : int64;           (** core-to-core latency *)
+  mutable pending : task list;       (** submitted, not yet run *)
+  queues : (int, (int64 * Interp.v) Queue.t) Hashtbl.t;
+  sigs : (int, int64 ref * int64 ref) Hashtbl.t;  (** value, availability stamp *)
+  mutable next_handle : int;
+  mutable next_tid : int;
+  (* statistics *)
+  mutable sections : int;            (** parallel sections executed *)
+  mutable par_cycles : int64;        (** cycles spent inside parallel sections *)
+  mutable tasks_executed : int;
+}
+
+let stats_sections (t : t) = t.sections
+let stats_par_cycles (t : t) = t.par_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Fiber scheduler                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type status =
+  | Done
+  | Blocked of (unit -> bool) * (unit, status) Effect.Deep.continuation
+
+let run_tasks (r : t) (tasks : task list) =
+  let caller_clock = r.st.Interp.clock in
+  (* seed task clocks: the pool pays a spawn cost per task *)
+  List.iteri
+    (fun i t -> t.clock <- Int64.add caller_clock (Int64.mul spawn_cost (Int64.of_int (i + 1))))
+    tasks;
+  let start (t : task) : status =
+    Effect.Deep.match_with
+      (fun () ->
+        ignore (Interp.call r.st t.fname t.targs);
+        Done)
+      ()
+      {
+        Effect.Deep.retc = (fun s -> s);
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Block cond ->
+              Some
+                (fun (k : (a, status) Effect.Deep.continuation) ->
+                  Blocked (cond, k))
+            | _ -> None);
+      }
+  in
+  (* round-robin over runnable fibers, swapping the interpreter's clock *)
+  let states : (task * status option ref) list =
+    List.map (fun t -> (t, ref None)) tasks
+  in
+  let unfinished () =
+    List.exists (fun (_, s) -> match !s with Some Done -> false | _ -> true) states
+  in
+  while unfinished () do
+    let progressed = ref false in
+    List.iter
+      (fun ((t : task), s) ->
+        match !s with
+        | Some Done -> ()
+        | None ->
+          r.st.Interp.clock <- t.clock;
+          let st' = start t in
+          t.clock <- r.st.Interp.clock;
+          s := Some st';
+          progressed := true
+        | Some (Blocked (cond, k)) ->
+          if cond () then begin
+            r.st.Interp.clock <- t.clock;
+            let st' = Effect.Deep.continue k () in
+            t.clock <- r.st.Interp.clock;
+            s := Some st';
+            progressed := true
+          end)
+      states;
+    if not !progressed then
+      Interp.trap "parallel runtime deadlock: %d tasks blocked"
+        (List.length (List.filter (fun (_, s) -> !s <> Some Done) states))
+  done;
+  let finish =
+    List.fold_left (fun acc (t : task) -> Int64.max acc t.clock) caller_clock tasks
+  in
+  r.st.Interp.clock <- Int64.add finish join_cost;
+  r.sections <- r.sections + 1;
+  r.par_cycles <- Int64.add r.par_cycles (Int64.sub r.st.Interp.clock caller_clock);
+  r.tasks_executed <- r.tasks_executed + List.length tasks
+
+(* ------------------------------------------------------------------ *)
+(* Builtins                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let install ?(arch : Noelle.Arch.t option) (st : Interp.state) : t =
+  let latency =
+    match arch with
+    | Some a -> Int64.of_int (max 1 (Noelle.Arch.max_latency a))
+    | None -> 60L
+  in
+  let r =
+    {
+      st;
+      latency;
+      pending = [];
+      queues = Hashtbl.create 16;
+      sigs = Hashtbl.create 16;
+      next_handle = 1;
+      next_tid = 0;
+      sections = 0;
+      par_cycles = 0L;
+      tasks_executed = 0;
+    }
+  in
+  let reg name fn = Interp.register_builtin st name fn in
+  reg "task_submit" (fun st args ->
+      match args with
+      | [ fp; core; ncores; env ] ->
+        let fname =
+          match fp with
+          | Interp.VP a -> (
+            match Hashtbl.find_opt st.Interp.addr_fun a with
+            | Some n -> n
+            | None -> Interp.trap "task_submit: %d is not a function address" a)
+          | _ -> Interp.trap "task_submit: expected function pointer"
+        in
+        let t =
+          { tid = r.next_tid; fname; targs = [ core; ncores; env ]; clock = 0L }
+        in
+        r.next_tid <- r.next_tid + 1;
+        r.pending <- r.pending @ [ t ];
+        Interp.VI 0L
+      | _ -> Interp.trap "task_submit: expected 4 arguments");
+  reg "tasks_run" (fun _ args ->
+      (match args with [] -> () | _ -> Interp.trap "tasks_run: no arguments expected");
+      let ts = r.pending in
+      r.pending <- [];
+      if ts <> [] then run_tasks r ts;
+      Interp.VI 0L);
+  reg "q_new" (fun _ _ ->
+      let h = r.next_handle in
+      r.next_handle <- h + 1;
+      Hashtbl.replace r.queues h (Queue.create ());
+      Interp.VI (Int64.of_int h));
+  let q_of v =
+    let h = Int64.to_int (Interp.as_int v) in
+    match Hashtbl.find_opt r.queues h with
+    | Some q -> q
+    | None -> Interp.trap "unknown queue %d" h
+  in
+  let push st args =
+    match args with
+    | [ q; v ] ->
+      Queue.add (Int64.add st.Interp.clock r.latency, v) (q_of q);
+      Interp.VI 0L
+    | _ -> Interp.trap "q_push: expected 2 arguments"
+  in
+  let pop st args =
+    match args with
+    | [ qv ] ->
+      let q = q_of qv in
+      while Queue.is_empty q do
+        Effect.perform (Block (fun () -> not (Queue.is_empty q)))
+      done;
+      let stamp, v = Queue.pop q in
+      st.Interp.clock <- Int64.max st.Interp.clock stamp;
+      v
+    | _ -> Interp.trap "q_pop: expected 1 argument"
+  in
+  reg "q_push" push;
+  reg "q_push_f" push;
+  reg "q_pop" pop;
+  reg "q_pop_f" pop;
+  reg "sig_new" (fun _ _ ->
+      let h = r.next_handle in
+      r.next_handle <- h + 1;
+      Hashtbl.replace r.sigs h (ref 0L, ref 0L);
+      Interp.VI (Int64.of_int h));
+  let sig_of v =
+    let h = Int64.to_int (Interp.as_int v) in
+    match Hashtbl.find_opt r.sigs h with
+    | Some s -> s
+    | None -> Interp.trap "unknown signal %d" h
+  in
+  reg "sig_wait" (fun st args ->
+      match args with
+      | [ sv; kv ] ->
+        let value, stamp = sig_of sv in
+        let k = Interp.as_int kv in
+        while !value < k do
+          Effect.perform (Block (fun () -> !value >= k))
+        done;
+        st.Interp.clock <- Int64.max st.Interp.clock !stamp;
+        Interp.VI 0L
+      | _ -> Interp.trap "sig_wait: expected 2 arguments");
+  reg "sig_set" (fun st args ->
+      match args with
+      | [ sv; kv ] ->
+        let value, stamp = sig_of sv in
+        let k = Interp.as_int kv in
+        if k > !value then begin
+          value := k;
+          stamp := Int64.add st.Interp.clock r.latency
+        end;
+        Interp.VI 0L
+      | _ -> Interp.trap "sig_set: expected 2 arguments");
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Measurement entry points                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** Run [m]'s entry under the parallel runtime.  Returns (exit value,
+    output, simulated cycles, runtime stats). *)
+let run ?(entry = "main") ?(args = []) ?fuel ?arch (m : Irmod.t) =
+  let st = Interp.create m in
+  (match fuel with Some f -> st.Interp.fuel <- f | None -> ());
+  let r = install ?arch st in
+  let v = Interp.call st entry (List.map (fun n -> Interp.VI (Int64.of_int n)) args) in
+  (v, Buffer.contents st.Interp.output, st.Interp.clock, r)
+
+(** Sequential reference run: simulated cycles = dynamic instructions. *)
+let run_sequential ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) =
+  let st = Interp.create m in
+  (match fuel with Some f -> st.Interp.fuel <- f | None -> ());
+  let v = Interp.call st entry (List.map (fun n -> Interp.VI (Int64.of_int n)) args) in
+  (v, Buffer.contents st.Interp.output, st.Interp.clock)

@@ -1,0 +1,1 @@
+lib/tools/autopar_baseline.ml: Ascc Depgraph Func Indvars_llvm Instr Ir Irmod List Loop Loopstructure Noelle Pdg Sccdag String

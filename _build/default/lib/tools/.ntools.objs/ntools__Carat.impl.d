@@ -1,0 +1,1 @@
+lib/tools/carat.ml: Alias Builder Dfe Func Hashtbl Indvars Instr Int64 Ir Irmod List Loop Loopbuilder Loopstructure Noelle Option Scev Ty

@@ -1,0 +1,1 @@
+lib/tools/coos.ml: Builder Callgraph Forest Func Hashtbl Indvars Instr Int64 Ir Irmod List Loop Loopnest Loopstructure Noelle String Ty

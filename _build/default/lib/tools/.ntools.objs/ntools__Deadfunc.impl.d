@@ -1,0 +1,1 @@
+lib/tools/deadfunc.ml: Callgraph Func Hashtbl Ir Irmod List Noelle

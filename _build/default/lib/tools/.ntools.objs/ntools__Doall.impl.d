@@ -1,0 +1,1 @@
+lib/tools/doall.ml: Ascc Builder Env Func Hashtbl Indvars Instr Int64 Ir Irmod Ivstepper List Loop Loopbuilder Loopstructure Noelle Parutil Printf Reduction Sccdag String Task Ty

@@ -1,0 +1,1 @@
+lib/tools/dswp.ml: Ascc Builder Depgraph Env Float Func Hashtbl Indvars Instr Int64 Ir Irmod List Loop Loopbuilder Loopstructure Noelle Parutil Pdg Printf Profiler Sccdag String Task Ty

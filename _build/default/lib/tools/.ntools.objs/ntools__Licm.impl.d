@@ -1,0 +1,1 @@
+lib/tools/licm.ml: Alias Forest Func Hashtbl Instr Invariants Ir Irmod List Loop Loopbuilder Loopnest Loopstructure Noelle

@@ -1,0 +1,1 @@
+lib/tools/licm_llvm.ml: Alias Builder Func Hashtbl Instr Int64 Invariants_llvm Ir Irmod List Loopbuilder Loopnest Loopstructure Noelle

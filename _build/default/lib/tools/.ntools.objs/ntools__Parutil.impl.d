@@ -1,0 +1,1 @@
+lib/tools/parutil.ml: Array Ascc Builder Cfg Env Func Indvars Instr Int64 Ir Irmod List Loop Loopstructure Noelle Option Printf Profiler Ty

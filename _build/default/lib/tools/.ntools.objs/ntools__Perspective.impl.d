@@ -1,0 +1,1 @@
+lib/tools/perspective.ml: Alias Ascc Depgraph Doall Func Hashtbl Interp Ir Irmod List Loop Loopnest Loopstructure Meta Noelle Option Parutil Pdg Printf Sccdag String

@@ -1,0 +1,1 @@
+lib/tools/prvjeeves.ml: Depgraph Func Instr Ir Irmod List Loop Loopstructure Noelle Pdg Profiler String Ty

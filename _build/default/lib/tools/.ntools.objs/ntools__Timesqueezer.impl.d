@@ -1,0 +1,1 @@
+lib/tools/timesqueezer.ml: Func Indvars Instr Int64 Ir Irmod Islands List Noelle Pdg Profiler Scheduler

@@ -1,0 +1,1 @@
+lib/tools/toolrt.ml: Buffer Hashtbl Int64 Interp Ir Irmod List

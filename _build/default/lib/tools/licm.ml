@@ -1,0 +1,105 @@
+(** Loop Invariant Code Motion built on NOELLE (§3, Table 3: 170 LoC vs
+    LLVM's 2317).
+
+    Uses FR to hoist from innermost loops outward, INV (the PDG-based
+    Algorithm 2) to identify hoistable instructions, and LB to perform the
+    hoist.  Invariants are hoisted in dependence order (an invariant whose
+    operands are themselves hoisted invariants follows them). *)
+
+open Ir
+open Noelle
+
+type stats = {
+  hoisted : int;
+  loops_visited : int;
+}
+
+(** Hoist the invariants of one loop; returns how many moved. *)
+let hoist_loop (n : Noelle.t) (f : Func.t) (lp : Loop.t) : int =
+  let ls = Loop.structure lp in
+  let inv = Noelle.invariants n lp in
+  Noelle.loop_builder n;
+  let candidates = Invariants.invariants inv in
+  (* only hoist instructions that are safe to execute when the loop runs
+     zero times: pure computations (no loads — the loop guard may protect
+     them) *)
+  let safe (i : Instr.inst) =
+    match i.Instr.op with
+    | Instr.Bin ((Instr.Sdiv | Instr.Srem), _, Instr.Cint 0L) -> false
+    | Instr.Bin ((Instr.Sdiv | Instr.Srem), _, Instr.Cint _) -> true
+    | Instr.Bin ((Instr.Sdiv | Instr.Srem), _, _) -> false
+    | Instr.Bin _ | Instr.Fbin _ | Instr.Icmp _ | Instr.Fcmp _ | Instr.Cast _
+    | Instr.Gep _ | Instr.Select _ -> true
+    | Instr.Load p ->
+      (* safe to speculate only when the address is a global (always
+         mapped), so a zero-trip loop cannot introduce a trap *)
+      (match Alias.base_of f p with Alias.Bglobal _ -> true | _ -> false)
+    | Instr.Call (callee, _) -> Alias.is_pure_builtin callee
+    | _ -> false
+  in
+  (* hoist in dependence order: an invariant may only move once every
+     in-loop operand has moved out before it; chains broken by an unsafe
+     member (e.g. an unhoistable load) stay put entirely *)
+  let moved = ref 0 in
+  let hoisted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let operands_out (i : Instr.inst) =
+    List.for_all
+      (function
+        | Instr.Reg r -> (
+          match Func.inst_opt f r with
+          | Some d when Loopstructure.contains_inst ls d -> Hashtbl.mem hoisted r
+          | _ -> true)
+        | _ -> true)
+      (Instr.operands i.Instr.op)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (i : Instr.inst) ->
+        if
+          (not (Hashtbl.mem hoisted i.Instr.id))
+          && safe i
+          && Loopstructure.contains_inst ls i
+          && operands_out i
+        then begin
+          Loopbuilder.hoist f ls.Loopstructure.raw i.Instr.id;
+          Hashtbl.replace hoisted i.Instr.id ();
+          incr moved;
+          changed := true
+        end)
+      candidates
+  done;
+  !moved
+
+(** Run LICM over every function: innermost loops first (FR postorder). *)
+let run (n : Noelle.t) (m : Irmod.t) : stats =
+  Noelle.set_tool n "LICM";
+  let hoisted = ref 0 and visited = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let forest = Noelle.loop_forest n f in
+      let order =
+        List.map (fun nd -> nd.Forest.value) (Forest.nodes_postorder forest)
+      in
+      List.iter
+        (fun (raw : Loopnest.loop) ->
+          incr visited;
+          (* re-derive the Loop for the (possibly already mutated) function *)
+          let lp =
+            List.find_opt
+              (fun lp ->
+                (Loop.structure lp).Loopstructure.header = raw.Loopnest.header)
+              (Noelle.loops n f)
+          in
+          match lp with
+          | Some lp ->
+            let c = hoist_loop n f lp in
+            if c > 0 then begin
+              hoisted := !hoisted + c;
+              Noelle.invalidate n
+            end
+          | None -> ())
+        order)
+    (Irmod.defined_functions m);
+  { hoisted = !hoisted; loops_visited = !visited }

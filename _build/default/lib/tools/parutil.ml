@@ -1,0 +1,229 @@
+(** Shared machinery of the parallelizing custom tools (DOALL / HELIX /
+    DSWP).
+
+    Everything here is a thin composition of NOELLE abstractions: candidate
+    selection reads L / aSCCDAG / IV, live-ins come from the PDG, the task
+    bodies are produced with LB's cloning, the iteration-space changes go
+    through IVS, and value forwarding uses ENV + T.  The per-technique
+    modules only add their scheduling policy, which is why they fit in a
+    few hundred lines each (Table 3). *)
+
+open Ir
+open Noelle
+
+type candidate = {
+  f : Func.t;
+  lp : Loop.t;
+  ls : Loopstructure.t;
+  ascc : Ascc.t;
+  iv : Indvars.t;
+  gov : Indvars.governing;
+  step_const : int64;            (** constant step, nonzero *)
+  pred : Instr.cmp;              (** normalized: loop continues while pred *)
+  exit_dst : int;
+  body_entry : int;              (** unique in-loop successor of the header *)
+  live_in_values : Instr.value list;
+  live_out_regs : int list;
+}
+
+let negate_pred = function
+  | Instr.Slt -> Instr.Sge
+  | Instr.Sle -> Instr.Sgt
+  | Instr.Sgt -> Instr.Sle
+  | Instr.Sge -> Instr.Slt
+  | Instr.Eq -> Instr.Ne
+  | Instr.Ne -> Instr.Eq
+
+(** Profile-driven loop selection shared by the parallelizers: the loop
+    must be hot enough, and its work per invocation must dwarf the
+    thread-pool spawn/join overhead or parallelization is a loss (this is
+    how PRO powers loop selection in §3). *)
+let profitable (m : Irmod.t) (ls : Loopstructure.t) ~min_hotness ~min_work =
+  (not (Profiler.available m))
+  || (Profiler.loop_hotness m ls >= min_hotness
+     &&
+     let inv = Int64.to_float (Int64.max 1L (Profiler.loop_invocations m ls)) in
+     Int64.to_float (Profiler.loop_insts m ls) /. inv >= min_work)
+
+(** Structural requirements shared by all three parallelizers: while-shaped
+    loop, unique exit edge leaving from the header, governing IV with a
+    constant nonzero step consistent with the exit predicate. *)
+let candidate_of (n : Noelle.t) (f : Func.t) (lp : Loop.t) : (candidate, string) result =
+  let ls = Loop.structure lp in
+  if Loopstructure.shape ls <> Loopstructure.While_shape then
+    Error "loop is not while-shaped"
+  else
+    match ls.Loopstructure.exit_edges with
+    | [ (src, dst) ] when src = ls.Loopstructure.header -> (
+      let ascc = Noelle.aSCCDAG n lp in
+      match Indvars.governing_iv (Noelle.induction_variables n lp) with
+      | None -> Error "no governing induction variable"
+      | Some iv -> (
+        let gov = Option.get iv.Indvars.governing in
+        match iv.Indvars.step with
+        | Instr.Cint c when not (Int64.equal c 0L) -> (
+          let pred =
+            if gov.Indvars.exit_on_false then gov.Indvars.pred
+            else negate_pred gov.Indvars.pred
+          in
+          let dir_ok =
+            match pred with
+            | Instr.Slt | Instr.Sle -> c > 0L
+            | Instr.Sgt | Instr.Sge -> c < 0L
+            | _ -> false
+          in
+          if not dir_ok then Error "exit predicate inconsistent with step direction"
+          else
+            match
+              List.filter
+                (fun s -> Loopstructure.contains ls s)
+                (Func.successors f ls.Loopstructure.header)
+            with
+            | [ body_entry ] ->
+              Ok
+                {
+                  f;
+                  lp;
+                  ls;
+                  ascc;
+                  iv;
+                  gov;
+                  step_const = c;
+                  pred;
+                  exit_dst = dst;
+                  body_entry;
+                  live_in_values = Loop.live_ins lp;
+                  live_out_regs = Loop.live_outs lp;
+                }
+            | _ -> Error "header has multiple in-loop successors")
+        | _ -> Error "step is not a nonzero constant"))
+    | _ -> Error "loop must have a single exit edge leaving the header"
+
+(** Emit, in block [bid] of [f], the trip count of the candidate:
+    [max(0, ceil((bound - start + adj) / step))]. *)
+let emit_niters (c : candidate) (f : Func.t) bid ~start ~bound : Instr.value =
+  let stepc = c.step_const in
+  let adj =
+    match c.pred with
+    | Instr.Sle -> 1L
+    | Instr.Sge -> -1L
+    | _ -> 0L
+  in
+  let sign = if stepc > 0L then 1L else -1L in
+  let k = Int64.add adj (Int64.sub stepc sign) in
+  let range = Builder.add f bid (Instr.Bin (Instr.Sub, bound, start)) Ty.I64 in
+  let numer =
+    if Int64.equal k 0L then Instr.Reg range.Instr.id
+    else
+      Instr.Reg
+        (Builder.add f bid (Instr.Bin (Instr.Add, Instr.Reg range.Instr.id, Instr.Cint k)) Ty.I64)
+          .Instr.id
+  in
+  let q = Builder.add f bid (Instr.Bin (Instr.Sdiv, numer, Instr.Cint stepc)) Ty.I64 in
+  Instr.Reg
+    (Builder.add f bid
+       (Instr.Call (Instr.Glob "i64_max", [ Instr.Reg q.Instr.id; Instr.Cint 0L ]))
+       Ty.I64)
+      .Instr.id
+
+(** Type of a live-in value. *)
+let value_ty (f : Func.t) = function
+  | Instr.Cint _ -> Ty.I64
+  | Instr.Cfloat _ -> Ty.F64
+  | Instr.Null | Instr.Glob _ -> Ty.Ptr
+  | Instr.Arg i -> snd f.Func.params.(i)
+  | Instr.Reg r -> (Func.inst f r).Instr.ty
+
+(** Declare an entry to be looked up with {!Instr.value_equal}. *)
+let assoc_value v l =
+  List.find_map (fun (k, x) -> if Instr.value_equal k v then Some x else None) l
+
+(** Build the environment layout for a candidate: one live-in slot per
+    live-in value, then [extra] additional named slots.  Returns the env
+    and the live-in slot assignment. *)
+let build_env (c : candidate) ~(extra : (string * Ty.t) list) :
+    Env.t * (Instr.value * int) list * (string * int) list =
+  let env = Env.create () in
+  let live_slots =
+    List.mapi
+      (fun i v ->
+        let idx =
+          Env.add env
+            ~name:(Printf.sprintf "livein%d" i)
+            ~ty:(value_ty c.f v) ~role:Env.Live_in
+        in
+        (v, idx))
+      c.live_in_values
+  in
+  let extra_slots =
+    List.map
+      (fun (name, ty) -> (name, Env.add env ~name ~ty ~role:Env.Live_out))
+      extra
+  in
+  (env, live_slots, extra_slots)
+
+(** Live-in loader: emits loads in [entry] of [tf] using types
+    from the original function [src_f]; returns the substitution map. *)
+let emit_live_in_loads (src_f : Func.t) (tf : Func.t) entry
+    (live_slots : (Instr.value * int) list) ~(env_ptr : Instr.value) :
+    (Instr.value * Instr.value) list =
+  List.map
+    (fun (v, idx) ->
+      let ty = value_ty src_f v in
+      let loaded = Env.emit_load tf entry ~env_ptr ~index:idx ty in
+      (v, loaded))
+    live_slots
+
+(** The substitution used when cloning a loop body into a task. *)
+let subst_of (pairs : (Instr.value * Instr.value) list) : Instr.value -> Instr.value =
+ fun v -> match assoc_value v pairs with Some x -> x | None -> v
+
+(** Rewrite the original function: the preheader now runs [emit_replacement]
+    (which must leave [ph] unterminated or terminated), then branches to a
+    fresh join block that falls through to the loop's exit target; exit
+    phis are retargeted with [map_live_out]; the old loop body becomes
+    unreachable and is pruned. *)
+let replace_loop (c : candidate) ~(ph : int) ~(join_bid : int)
+    ~(map_live_out : int -> Instr.value) =
+  let f = c.f in
+  let header = c.ls.Loopstructure.header in
+  (* exit phis: the incoming from the header now comes from the join block *)
+  List.iter
+    (fun (i : Instr.inst) ->
+      match i.Instr.op with
+      | Instr.Phi incs ->
+        i.Instr.op <-
+          Instr.Phi
+            (List.map
+               (fun (p, v) ->
+                 if p = header then
+                   ( join_bid,
+                     match v with
+                     | Instr.Reg r when List.mem r c.live_out_regs -> map_live_out r
+                     | v -> v )
+                 else (p, v))
+               incs)
+      | _ -> ())
+    (Func.insts_of_block f c.exit_dst);
+  (* direct uses of live-outs outside the loop (exit phis already done) *)
+  List.iter
+    (fun r ->
+      let by = map_live_out r in
+      Func.iter_insts
+        (fun (u : Instr.inst) ->
+          let in_loop = Loopstructure.contains c.ls u.Instr.parent in
+          let is_exit_phi =
+            u.Instr.parent = c.exit_dst
+            && match u.Instr.op with Instr.Phi _ -> true | _ -> false
+          in
+          if (not in_loop) && not is_exit_phi then
+            u.Instr.op <-
+              Instr.map_operands
+                (function Instr.Reg x when x = r -> by | v -> v)
+                u.Instr.op)
+        f)
+    c.live_out_regs;
+  ignore (Builder.set_term f join_bid (Instr.Br c.exit_dst));
+  Builder.redirect f ph ~old_succ:header ~new_succ:join_bid;
+  ignore (Cfg.prune_unreachable f);
+  ignore (Builder.simplify_phis f)

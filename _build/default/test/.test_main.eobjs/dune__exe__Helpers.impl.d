@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Bsuite Ir List Minic Psim String

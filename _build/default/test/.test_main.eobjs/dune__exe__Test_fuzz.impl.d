@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Bsuite Helpers Int64 Ir List Minic Noelle Ntools Printexc Printf String

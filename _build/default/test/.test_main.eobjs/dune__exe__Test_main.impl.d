@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_fuzz Test_ir Test_minic Test_noelle Test_psim Test_tools

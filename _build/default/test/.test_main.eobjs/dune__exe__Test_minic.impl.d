@@ -1,0 +1,1 @@
+test/test_minic.ml: Alcotest Array Helpers Int64 Minic Printf QCheck String

@@ -1,0 +1,1 @@
+test/test_noelle.ml: Alcotest Andersen Bsuite Builder Func Hashtbl Helpers Instr Int64 Interp Ir Irmod List Loopnest Meta Noelle Ntools Option Parser Printer Printf Result String Ty Verify

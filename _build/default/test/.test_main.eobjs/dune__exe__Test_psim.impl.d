@@ -1,0 +1,1 @@
+test/test_psim.ml: Alcotest Helpers Interp Ir Noelle Ntools Parser Psim String Verify

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Bsuite Helpers Int64 Interp Ir Irmod List Noelle Ntools Option Printf Psim Result String

@@ -1,0 +1,51 @@
+(** Shared helpers for the test-suite. *)
+
+let check = Alcotest.check
+let checkb msg b = Alcotest.check Alcotest.bool msg true b
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(** Compile Mini-C and fail the test on a frontend error. *)
+let compile ?(name = "t") src =
+  try Minic.Lower.compile ~name src
+  with
+  | Minic.Lower.Error e -> Alcotest.failf "compile error: %s" e
+  | Minic.Parser.Error e -> Alcotest.failf "parse error: %s" e
+  | Minic.Lexer.Error e -> Alcotest.failf "lex error: %s" e
+
+(** Run a module and return its printed output (trimmed). *)
+let output ?fuel m =
+  let _, out = Ir.Interp.run ?fuel m in
+  String.trim out
+
+(** Compile and run, returning output. *)
+let run_src ?fuel src = output ?fuel (compile src)
+
+(** Run a module under the parallel runtime; returns (output, cycles). *)
+let run_parallel ?fuel m =
+  let _, out, cycles, _ = Psim.Runtime.run ?fuel m in
+  (String.trim out, cycles)
+
+(** Assert the module verifies. *)
+let verifies msg m =
+  match Ir.Verify.check m with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "%s: verifier: %s" msg e
+
+(** Assert [transform] preserves the program output of [src]. *)
+let preserves_output ?fuel ~name src transform =
+  let m_ref = compile src in
+  let expected = output ?fuel m_ref in
+  let m = compile src in
+  transform m;
+  verifies name m;
+  let got = output ?fuel m in
+  checks (name ^ ": output preserved") expected got
+
+let tc name f = Alcotest.test_case name `Quick f
+
+(** Freshly compiled module for each kernel of the corpus. *)
+let each_kernel f =
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) -> f k (Bsuite.Kernels.compile k))
+    Bsuite.Kernels.all
