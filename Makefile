@@ -1,0 +1,15 @@
+.PHONY: check build test faultcheck
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# one seeded fault-injection pipeline run: every injected corruption must be
+# caught by the verify/differential gates (exit 0 = final module ok)
+faultcheck: build
+	dune exec bin/noelle_pipeline.exe -- --fuzz-seed 3 --fault-seed 8 -q
+	dune exec bin/noelle_pipeline.exe -- --fuzz-seed 3 --task-fault-seed 5 --kill-task 0 -q
+
+check: build test faultcheck

@@ -1,0 +1,81 @@
+(** noelle-pipeline — run the custom-tool stack through the transactional
+    pass pipeline: checkpoint, transform, verify, differential-test, and
+    commit or roll back each pass; optionally corrupt pass output and
+    inject task failures to exercise the resilience machinery. *)
+
+open Cmdliner
+
+let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
+    analysis_budget output quiet =
+  let m =
+    match (input, fuzz_seed) with
+    | Some f, _ -> Ir.Parser.parse_file f
+    | None, Some seed ->
+      Minic.Lower.compile ~name:(Printf.sprintf "fuzz%d" seed)
+        (Bsuite.Generator.program seed)
+    | None, None ->
+      prerr_endline "noelle-pipeline: need FILE.ir or --fuzz-seed"; exit 2
+  in
+  let pristine = Ir.Snapshot.capture m in
+  let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
+  let report =
+    Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ?analysis_budget m
+  in
+  print_string (Noelle.Pipeline.report_to_string report);
+  (* demonstrate degraded-mode parallel execution on the surviving module *)
+  let fault =
+    match (psim_fault_seed, persistent_tid) with
+    | _, Some tid -> Some (Psim.Runtime.persistent_fault ~tid ())
+    | Some seed, None -> Some (Psim.Runtime.seeded_fault ~seed ())
+    | None, None -> None
+  in
+  (match fault with
+  | None -> ()
+  | Some fault ->
+    let original = Ir.Snapshot.to_module pristine in
+    let r =
+      Psim.Runtime.run_resilient ~args:(List.hd inputs) ~fuel ~fault ~original m
+    in
+    Printf.printf "resilient run: mode=%s restarts=%d exit=%s\n"
+      (Psim.Runtime.mode_to_string r.Psim.Runtime.rmode)
+      r.Psim.Runtime.rrestarts
+      (Ir.Interp.v_to_string r.Psim.Runtime.rvalue);
+    if r.Psim.Runtime.rtask_log <> [] then
+      print_endline (Psim.Runtime.dispositions_to_string r.Psim.Runtime.rtask_log);
+    if not quiet then print_string r.Psim.Runtime.routput);
+  (match output with Some o -> Ir.Printer.to_file m o | None -> ());
+  if report.Noelle.Pipeline.final_ok then 0 else 1
+
+let input = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.ir")
+let fuzz_seed =
+  Arg.(value & opt (some int) None & info [ "fuzz-seed" ] ~docv:"N"
+         ~doc:"generate the input program from fuzzer seed $(docv)")
+let inputs =
+  Arg.(value & opt_all int [] & info [ "input"; "i" ] ~docv:"N"
+         ~doc:"argument for a differential run (repeatable)")
+let fuel =
+  Arg.(value & opt int 3_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"interpreter fuel per differential run")
+let inject_seed =
+  Arg.(value & opt (some int) None & info [ "fault-seed" ] ~docv:"N"
+         ~doc:"corrupt each pass's output with a fault drawn from seed $(docv)")
+let psim_fault_seed =
+  Arg.(value & opt (some int) None & info [ "task-fault-seed" ] ~docv:"N"
+         ~doc:"inject transient task failures into the final parallel run")
+let persistent_tid =
+  Arg.(value & opt (some int) None & info [ "kill-task" ] ~docv:"TID"
+         ~doc:"kill task $(docv) on every attempt (forces sequential fallback)")
+let analysis_budget =
+  Arg.(value & opt (some int) None & info [ "analysis-budget" ] ~docv:"N"
+         ~doc:"step budget for Andersen/PDG before degrading to may-deps")
+let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT.ir")
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress program output")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-pipeline"
+       ~doc:"Transactional pass pipeline with verification and differential gates")
+    Term.(const run $ input $ fuzz_seed $ inputs $ fuel $ inject_seed $ psim_fault_seed
+          $ persistent_tid $ analysis_budget $ output $ quiet)
+
+let () = exit (Cmd.eval' cmd)

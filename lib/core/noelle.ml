@@ -34,6 +34,7 @@ module Scheduler = Scheduler
 module Islands = Islands
 module Arch = Arch
 module Profiler = Profiler
+module Pipeline = Pipeline
 
 open Ir
 
@@ -42,6 +43,10 @@ type t = {
   mutable tool : string;
   usage : (string * string, unit) Hashtbl.t;    (** (tool, abstraction) *)
   mutable use_noelle_aa : bool;                 (** full stack vs baseline *)
+  mutable analysis_budget : int option;
+      (** step budget for demand-driven analyses: past it Andersen degrades
+          to a conservative points-to result and the PDG stops issuing
+          alias queries, emitting may-deps instead (sound, less precise) *)
   mutable andersen : Andersen.t option;
   pdgs : (string, Pdg.t) Hashtbl.t;
   nests : (string, Loopnest.t) Hashtbl.t;
@@ -49,12 +54,13 @@ type t = {
   mutable arch_ : Arch.t option;
 }
 
-let create ?(use_noelle_aa = true) (m : Irmod.t) : t =
+let create ?(use_noelle_aa = true) ?analysis_budget (m : Irmod.t) : t =
   {
     m;
     tool = "?";
     usage = Hashtbl.create 64;
     use_noelle_aa;
+    analysis_budget;
     andersen = None;
     pdgs = Hashtbl.create 16;
     nests = Hashtbl.create 16;
@@ -64,6 +70,16 @@ let create ?(use_noelle_aa = true) (m : Irmod.t) : t =
 
 (** Set the name of the tool issuing subsequent requests (Table 4 rows). *)
 let set_tool (t : t) name = t.tool <- name
+
+(** Bound (or unbound, with [None]) the analysis step budget; takes effect
+    on the next demand-driven computation. *)
+let set_analysis_budget (t : t) b = t.analysis_budget <- b
+
+(** Did any cached analysis hit its budget and degrade to a conservative
+    result? *)
+let degraded (t : t) =
+  (match t.andersen with Some a -> a.Andersen.degraded | None -> false)
+  || Hashtbl.fold (fun _ (p : Pdg.t) acc -> acc || p.Pdg.degraded) t.pdgs false
 
 let record (t : t) abstraction = Hashtbl.replace t.usage (t.tool, abstraction) ()
 
@@ -83,7 +99,7 @@ let andersen (t : t) =
   match t.andersen with
   | Some a -> a
   | None ->
-    let a = Andersen.analyze t.m in
+    let a = Andersen.analyze ?budget:t.analysis_budget t.m in
     t.andersen <- Some a;
     a
 
@@ -103,7 +119,7 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
     let p =
       match Pdg.of_embedded t.m f with
       | Some p -> p
-      | None -> Pdg.build ~stack:(alias_stack t) t.m f
+      | None -> Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) t.m f
     in
     Hashtbl.replace t.pdgs f.Func.fname p;
     p

@@ -21,10 +21,17 @@ type t = {
   (* statistics for the Figure 3 experiment *)
   mem_pairs_total : int;       (** candidate memory-dependence queries *)
   mem_pairs_disproved : int;   (** queries answered "no dependence" *)
+  degraded : bool;
+  (** the pairwise-query budget was exhausted: the remaining memory
+      dependences were emitted conservatively (may-dep) without consulting
+      the alias stack.  The graph is sound but less precise. *)
 }
 
-(** Build the dependence graph of function [f] using alias stack [stack]. *)
-let build ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t) : t =
+(** Build the dependence graph of function [f] using alias stack [stack].
+    [budget], when given, bounds the number of alias-stack queries: past
+    the budget every remaining candidate pair is treated as a may
+    dependence and the result is marked {!field-degraded}. *)
+let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t) : t =
   let g = Depgraph.create () in
   Func.iter_insts (fun i -> Depgraph.add_node g i.Instr.id) f;
   (* register dependences (SSA def-use): always must, RAW *)
@@ -97,6 +104,15 @@ let build ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t)
     | _ -> false
   in
   let total = ref 0 and disproved = ref 0 in
+  let degraded = ref false in
+  let conflict a b =
+    incr total;
+    match budget with
+    | Some bmax when !total > bmax ->
+      degraded := true;
+      true (* budget exhausted: conservative may-dep, no alias query *)
+    | _ -> Alias.may_conflict stack m f a b
+  in
   (* self dependences: a writing instruction may conflict with its own
      dynamic instances across iterations (e.g. a store whose address is
      not analyzable); the loop refinement later drops the self edge when
@@ -104,8 +120,7 @@ let build ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t)
   List.iter
     (fun (a : Instr.inst) ->
       if writes a then begin
-        incr total;
-        if not (Alias.may_conflict stack m f a a) then incr disproved
+        if not (conflict a a) then incr disproved
         else
           ignore
             (Depgraph.add_edge g ~kind:(Depgraph.Memory Depgraph.WAW) a.Instr.id
@@ -118,8 +133,7 @@ let build ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t)
       List.iter
         (fun b ->
           if writes a || writes b then begin
-            incr total;
-            if not (Alias.may_conflict stack m f a b) then incr disproved
+            if not (conflict a b) then incr disproved
             else begin
               (* direction: program order is not tracked flow-sensitively;
                  emit both directions with the appropriate sorts, which is
@@ -155,6 +169,7 @@ let build ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t)
     stack;
     mem_pairs_total = !total;
     mem_pairs_disproved = !disproved;
+    degraded = !degraded;
   }
 
 (** Fraction of candidate memory dependences disproved (Figure 3 metric). *)
@@ -407,4 +422,5 @@ let of_embedded (m : Irmod.t) (f : Func.t) : t option =
           stack = [ Alias.baseline ];
           mem_pairs_total = total;
           mem_pairs_disproved = disproved;
+          degraded = false;
         }

@@ -1,0 +1,218 @@
+(** The transactional pass pipeline (robustness layer).
+
+    Every pass runs as a transaction: the module is checkpointed
+    ({!Ir.Snapshot}), the pass transforms it in place, and the result must
+    clear two gates before the change commits — the structural verifier
+    ({!Ir.Verify.check}) and a differential test that executes the original
+    and the transformed module on the same inputs and demands identical
+    observable behaviour.  A pass that fails a gate (or raises) is rolled
+    back in place, with a structural diff of the rejected change recorded
+    for diagnosis, and the pipeline carries on from the last good module.
+
+    A seeded fault injector ({!Ir.Faultgen}) can corrupt pass output on
+    purpose, to demonstrate that the gates catch the canonical compiler
+    bugs: structural corruptions die at the verifier, semantic ones at the
+    differential test.
+
+    The pipeline knows nothing about which analyses a pass consults: passes
+    are plain closures, and {!config.on_change} lets the driver invalidate
+    its analysis caches whenever the module mutates (including rollbacks). *)
+
+open Ir
+
+type outcome =
+  | Committed of string   (** the summary string returned by the pass *)
+  | Rolled_back of string (** which gate rejected the change, and why *)
+  | Timed_out of string   (** the differential run exhausted its fuel *)
+
+type entry = {
+  epass : string;
+  eoutcome : outcome;
+  einjected : string option; (** fault injected into this pass's output *)
+  ediff : string list;       (** structural diff of a rejected change *)
+}
+
+type report = {
+  entries : entry list;
+  final_ok : bool; (** the surviving module still clears both gates *)
+}
+
+(** How the differential gate executes a module: [Ok observable] on normal
+    termination (exit value + program output rendered as one string) or
+    [Error trap_message].  The default is the sequential interpreter;
+    drivers whose passes produce parallel modules plug in a Psim-backed
+    executor instead. *)
+type exec = Irmod.t -> args:int list -> fuel:int -> (string, string) result
+
+let interp_exec : exec =
+ fun m ~args ~fuel ->
+  match Interp.run ~args ~fuel m with
+  | v, out -> Ok (Printf.sprintf "exit=%s\n%s" (Interp.v_to_string v) out)
+  | exception Interp.Trap msg -> Error msg
+
+type config = {
+  inputs : int list list; (** argument vectors for the differential gate *)
+  fuel : int;             (** interpreter fuel per differential run *)
+  exec : exec;
+  verify_gate : bool;
+  differential_gate : bool;
+  max_diff_lines : int;
+  on_change : unit -> unit;
+      (** called whenever the module mutates: after a pass ran, and after
+          a rollback; drivers hang analysis-cache invalidation here *)
+}
+
+let default_config =
+  {
+    inputs = [ [] ];
+    fuel = 2_000_000;
+    exec = interp_exec;
+    verify_gate = true;
+    differential_gate = true;
+    max_diff_lines = 24;
+    on_change = (fun () -> ());
+  }
+
+(** A pass is a named in-place transformation returning a human-readable
+    summary of what it did. *)
+type pass = { pname : string; papply : Irmod.t -> string }
+
+(* ------------------------------------------------------------------ *)
+(* Behaviour comparison                                                *)
+(* ------------------------------------------------------------------ *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let is_fuel_exhaustion = function
+  | Error msg -> contains msg "out of fuel"
+  | Ok _ -> false
+
+(* Trap messages carry instruction ids and labels that legitimately shift
+   under transformation, so equivalence of trapping runs is by trap class
+   (genuine trap vs fuel exhaustion), not by message text. *)
+let equiv r c =
+  match (r, c) with
+  | Ok a, Ok b -> String.equal a b
+  | (Error _ as a), (Error _ as b) -> is_fuel_exhaustion a = is_fuel_exhaustion b
+  | _ -> false
+
+let truncate_for_msg s =
+  let s = String.map (function '\n' -> ' ' | c -> c) s in
+  if String.length s <= 80 then s else String.sub s 0 77 ^ "..."
+
+let describe_result = function
+  | Ok s -> Printf.sprintf "ok %S" (truncate_for_msg s)
+  | Error msg -> Printf.sprintf "trap %S" (truncate_for_msg msg)
+
+let args_str args = "(" ^ String.concat ", " (List.map string_of_int args) ^ ")"
+
+let behaviours (c : config) (m : Irmod.t) =
+  List.map (fun args -> c.exec m ~args ~fuel:c.fuel) c.inputs
+
+(** Compare candidate behaviours against the reference, input by input. *)
+let compare_behaviours (c : config) reference candidate =
+  let rec go inputs refs cands =
+    match (inputs, refs, cands) with
+    | [], [], [] -> `Equal
+    | args :: is, r :: rs, cd :: cs ->
+      if equiv r cd then go is rs cs
+      else if is_fuel_exhaustion cd && not (is_fuel_exhaustion r) then
+        `Timed_out (Printf.sprintf "on input %s: ran out of fuel (reference %s)"
+                      (args_str args) (describe_result r))
+      else
+        `Mismatch (Printf.sprintf "on input %s: expected %s, got %s" (args_str args)
+                     (describe_result r) (describe_result cd))
+    | _ -> `Mismatch "behaviour vectors have different lengths"
+  in
+  go c.inputs reference candidate
+
+(* ------------------------------------------------------------------ *)
+(* The transaction loop                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Run [passes] over [m] transactionally.  [m] is mutated in place; after
+    the call it holds the composition of every {e committed} pass and none
+    of the rolled-back ones.  When [inject] is given, a deterministic fault
+    drawn from seed [inject + pass_index] corrupts each pass's output
+    before the gates run.  The reference behaviour for every differential
+    check is the pristine input module, so the final module is guaranteed
+    behaviourally equal to the original on the configured inputs. *)
+let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : report =
+  let reference =
+    if config.differential_gate then behaviours config m else []
+  in
+  let run_pass idx (p : pass) : entry =
+    let snap = Snapshot.capture m in
+    let applied = try Ok (p.papply m) with e -> Error (Printexc.to_string e) in
+    config.on_change ();
+    let injected =
+      match applied with
+      | Error _ -> None
+      | Ok _ -> Option.bind inject (fun seed -> Faultgen.inject ~seed:(seed + idx) m)
+    in
+    let rollback reason =
+      let diff = Snapshot.diff ~limit:config.max_diff_lines (Snapshot.view snap) m in
+      Snapshot.restore snap m;
+      config.on_change ();
+      { epass = p.pname; eoutcome = reason; einjected = injected; ediff = diff }
+    in
+    let commit summary =
+      { epass = p.pname; eoutcome = Committed summary; einjected = injected; ediff = [] }
+    in
+    match applied with
+    | Error exn -> rollback (Rolled_back ("pass raised: " ^ exn))
+    | Ok summary -> (
+      match (if config.verify_gate then Verify.check m else Ok ()) with
+      | Error msg -> rollback (Rolled_back ("verifier: " ^ msg))
+      | Ok () ->
+        if not config.differential_gate then commit summary
+        else (
+          match compare_behaviours config reference (behaviours config m) with
+          | `Equal -> commit summary
+          | `Timed_out msg -> rollback (Timed_out msg)
+          | `Mismatch msg -> rollback (Rolled_back ("differential: " ^ msg))))
+  in
+  let entries = List.mapi run_pass passes in
+  let final_ok =
+    (match Verify.check m with Ok () -> true | Error _ -> false)
+    && (not config.differential_gate
+       || compare_behaviours config reference (behaviours config m) = `Equal)
+  in
+  { entries; final_ok }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let outcome_to_string = function
+  | Committed s -> "committed" ^ if s = "" then "" else ": " ^ s
+  | Rolled_back s -> "ROLLED BACK: " ^ s
+  | Timed_out s -> "TIMED OUT: " ^ s
+
+let committed (r : report) =
+  List.filter (fun e -> match e.eoutcome with Committed _ -> true | _ -> false) r.entries
+
+let rolled_back (r : report) =
+  List.filter (fun e -> match e.eoutcome with Committed _ -> false | _ -> true) r.entries
+
+let report_to_string (r : report) =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun e ->
+      let mark = match e.eoutcome with Committed _ -> "+" | _ -> "!" in
+      Buffer.add_string b
+        (Printf.sprintf "%s %-12s %s\n" mark e.epass (outcome_to_string e.eoutcome));
+      (match e.einjected with
+      | Some d -> Buffer.add_string b (Printf.sprintf "    injected fault: %s\n" d)
+      | None -> ());
+      List.iter (fun l -> Buffer.add_string b ("    " ^ l ^ "\n")) e.ediff)
+    r.entries;
+  Buffer.add_string b
+    (Printf.sprintf "pipeline: %d committed, %d rolled back; final module %s\n"
+       (List.length (committed r))
+       (List.length (rolled_back r))
+       (if r.final_ok then "OK (verified, behaviour preserved)" else "NOT OK"));
+  Buffer.contents b

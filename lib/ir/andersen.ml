@@ -43,6 +43,9 @@ type t = {
   touched : (string, ObjSet.t * ObjSet.t) Hashtbl.t;
       (** per-function transitive (reads, writes), [Oextern] meaning unknown *)
   module_ : Irmod.t;
+  degraded : bool;
+      (** true when a step budget ran out and the result is the conservative
+          top (every query declines, so the stack answers may-alias) *)
 }
 
 let pts_of (r : t) v = match VarMap.find_opt r.pts v with Some s -> s | None -> ObjSet.empty
@@ -57,11 +60,36 @@ let pts_of_value (r : t) (f : Func.t) (v : Instr.value) =
     else ObjSet.singleton (Oglob g)
   | Instr.Null | Instr.Cint _ | Instr.Cfloat _ -> ObjSet.empty
 
-let analyze (m : Irmod.t) : t =
+(** Fully conservative result: no points-to facts, every function
+    summarized as touching unknown memory.  This is what a step-budget
+    exhaustion degrades to — the plug-in declines every query, so the
+    stack defaults to may-alias and transformations refuse rather than
+    miscompile. *)
+let conservative (m : Irmod.t) : t =
+  let touched = Hashtbl.create 16 in
+  let top = ObjSet.singleton Oextern in
+  List.iter
+    (fun (f : Func.t) -> Hashtbl.replace touched f.Func.fname (top, top))
+    (Irmod.functions m);
+  { pts = VarMap.create 1; touched; module_ = m; degraded = true }
+
+exception Budget_exhausted
+
+let analyze ?budget (m : Irmod.t) : t =
+  let steps = ref 0 in
+  let tick () =
+    match budget with
+    | Some b ->
+      incr steps;
+      if !steps > b then raise Budget_exhausted
+    | None -> ()
+  in
+  try
   let pts : ObjSet.t VarMap.t = VarMap.create 256 in
   let get v = match VarMap.find_opt pts v with Some s -> s | None -> ObjSet.empty in
   let changed = ref true in
   let add v s =
+    tick ();
     if not (ObjSet.subset s (get v)) then begin
       VarMap.replace pts v (ObjSet.union s (get v));
       changed := true
@@ -70,6 +98,7 @@ let analyze (m : Irmod.t) : t =
   (* copy edges, load/store constraints, call sites *)
   let copies : (var * var, unit) Hashtbl.t = Hashtbl.create 256 in
   let add_copy src dst =
+    tick ();
     if not (Hashtbl.mem copies (src, dst)) then begin
       Hashtbl.replace copies (src, dst) ();
       changed := true
@@ -186,7 +215,7 @@ let analyze (m : Irmod.t) : t =
       !calls
   done;
   (* mod/ref summaries: per function, transitive (reads, writes) *)
-  let r = { pts; touched = Hashtbl.create 16; module_ = m } in
+  let r = { pts; touched = Hashtbl.create 16; module_ = m; degraded = false } in
   let direct = Hashtbl.create 16 in
   let callees_of = Hashtbl.create 16 in
   List.iter
@@ -267,6 +296,7 @@ let analyze (m : Irmod.t) : t =
   done;
   Hashtbl.iter (fun k v -> Hashtbl.replace r.touched k v) summary;
   r
+  with Budget_exhausted -> conservative m
 
 (* ------------------------------------------------------------------ *)
 (* Alias-stack plug-in                                                 *)
@@ -288,6 +318,8 @@ let objs_of (r : t) f v =
 
 let mk_alias (r : t) : Irmod.t -> Func.t -> Instr.value -> Instr.value -> Alias.result option =
  fun _m f p1 p2 ->
+  if r.degraded then None
+  else
   let s1 = objs_of r f p1 and s2 = objs_of r f p2 in
   if ObjSet.is_empty s1 || ObjSet.is_empty s2 then None
   else if ObjSet.mem Oextern s1 || ObjSet.mem Oextern s2 then None
@@ -324,6 +356,8 @@ let call_touched (r : t) (f : Func.t) (call : Instr.inst) =
 
 let mk_call_may_touch (r : t) =
  fun _m f (call : Instr.inst) ptr ->
+  if r.degraded then None
+  else
   match call_touched r f call with
   | None -> None
   | Some (reads, writes) ->
@@ -339,6 +373,8 @@ let mk_call_may_touch (r : t) =
 
 let mk_calls_may_conflict (r : t) =
  fun _m f c1 c2 ->
+  if r.degraded then None
+  else
   match (call_touched r f c1, call_touched r f c2) with
   | Some (r1, w1), Some (r2, w2) ->
     if List.exists (ObjSet.mem Oextern) [ r1; w1; r2; w2 ] then None

@@ -1,0 +1,132 @@
+(** Deterministic fault injection for the transactional pipeline.
+
+    Seeded mutations of a module that model the characteristic bugs of a
+    broken transformation: a dropped store, swapped operands of a
+    non-commutative operation, a corrupted phi edge, a reference to an
+    undefined register, a terminator spliced into the middle of a block.
+    The first two classes are semantic (only a differential gate can catch
+    them); the last three are structural (the verifier must reject them).
+    Injection is a pure function of the seed and the module shape, so a
+    failing pipeline run is replayable from its seed alone. *)
+
+type kind =
+  | Drop_store        (** delete a store instruction *)
+  | Swap_operands     (** [a - b] becomes [b - a] (likewise sdiv/srem/shl/ashr) *)
+  | Corrupt_phi_value (** one incoming value replaced by a junk constant *)
+  | Corrupt_phi_edge  (** one incoming edge retargeted to a bogus block *)
+  | Undef_operand     (** one operand replaced by an undefined register *)
+  | Mid_terminator    (** a [ret] spliced into the middle of a block *)
+
+let kind_to_string = function
+  | Drop_store -> "drop-store"
+  | Swap_operands -> "swap-operands"
+  | Corrupt_phi_value -> "corrupt-phi-value"
+  | Corrupt_phi_edge -> "corrupt-phi-edge"
+  | Undef_operand -> "undef-operand"
+  | Mid_terminator -> "mid-terminator"
+
+(** Is the fault class one the verifier alone must catch? *)
+let structural = function
+  | Corrupt_phi_edge | Undef_operand | Mid_terminator -> true
+  | Drop_store | Swap_operands | Corrupt_phi_value -> false
+
+(* deterministic 64-bit LCG (MMIX constants) *)
+type rng = { mutable s : int64 }
+
+let next (r : rng) bound =
+  r.s <- Int64.add (Int64.mul r.s 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.rem (Int64.shift_right_logical r.s 33) (Int64.of_int (max 1 bound)))
+
+(* candidate sites, enumerated in deterministic layout order *)
+let sites_of (m : Irmod.t) (k : kind) : (Func.t * Instr.inst) list =
+  let out = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_insts
+        (fun (i : Instr.inst) ->
+          let ok =
+            match (k, i.Instr.op) with
+            | Drop_store, Instr.Store _ -> true
+            | ( Swap_operands,
+                Instr.Bin
+                  ((Instr.Sub | Instr.Sdiv | Instr.Srem | Instr.Shl | Instr.Ashr), a, b) ) ->
+              not (Instr.value_equal a b)
+            | (Corrupt_phi_value | Corrupt_phi_edge), Instr.Phi (_ :: _) -> true
+            | Undef_operand, op ->
+              (not (Instr.is_terminator_op op))
+              && List.exists (function Instr.Reg _ -> true | _ -> false) (Instr.operands op)
+            | Mid_terminator, _ ->
+              (* site = first instruction of a block with >= 3 instructions *)
+              let b = Func.block f i.Instr.parent in
+              (match b.Func.insts with x :: _ -> x = i.Instr.id | [] -> false)
+              && List.length b.Func.insts >= 3
+            | _ -> false
+          in
+          if ok then out := (f, i) :: !out)
+        f)
+    (Irmod.defined_functions m);
+  List.rev !out
+
+let apply (r : rng) (k : kind) (f : Func.t) (i : Instr.inst) : string =
+  let where = Printf.sprintf "%s/inst %d" f.Func.fname i.Instr.id in
+  (match (k, i.Instr.op) with
+  | Drop_store, Instr.Store _ -> Builder.remove f i.Instr.id
+  | Swap_operands, Instr.Bin (op, a, b) -> i.Instr.op <- Instr.Bin (op, b, a)
+  | Corrupt_phi_value, Instr.Phi incs ->
+    let k' = next r (List.length incs) in
+    i.Instr.op <-
+      Instr.Phi (List.mapi (fun j (p, v) -> if j = k' then (p, Instr.Cint 1234567L) else (p, v)) incs)
+  | Corrupt_phi_edge, Instr.Phi incs ->
+    let k' = next r (List.length incs) in
+    i.Instr.op <-
+      Instr.Phi (List.mapi (fun j (p, v) -> if j = k' then (-7, v) else (p, v)) incs)
+  | Undef_operand, op ->
+    let undef = Instr.Reg (f.Func.next_id + 9999) in
+    let hit = ref false in
+    i.Instr.op <-
+      Instr.map_operands
+        (fun v ->
+          match v with
+          | Instr.Reg _ when not !hit ->
+            hit := true;
+            undef
+          | v -> v)
+        op
+  | Mid_terminator, _ ->
+    let b = Func.block f i.Instr.parent in
+    let t = Builder.mk_inst f (Instr.Ret None) Ty.Void in
+    t.Instr.parent <- b.Func.bid;
+    (* splice after the first instruction: never last, so always mid-block *)
+    (match b.Func.insts with
+    | x :: rest -> b.Func.insts <- x :: t.Instr.id :: rest
+    | [] -> ())
+  | _ -> ());
+  Printf.sprintf "%s at %s" (kind_to_string k) where
+
+(** Inject one seeded fault into [m].  Returns a description of what was
+    corrupted, or [None] when the module offers no opportunity.  When
+    [kinds] is given only those fault classes are drawn from. *)
+let inject ?kinds ~seed (m : Irmod.t) : string option =
+  let all =
+    match kinds with
+    | Some ks -> ks
+    | None ->
+      [ Drop_store; Swap_operands; Corrupt_phi_value; Corrupt_phi_edge;
+        Undef_operand; Mid_terminator ]
+  in
+  let r = { s = Int64.add 0x9e3779b97f4a7c15L (Int64.of_int seed) } in
+  ignore (next r 1);
+  (* try fault classes starting from a seeded offset until one has a site *)
+  let nk = List.length all in
+  let start = next r nk in
+  let rec go tries =
+    if tries >= nk then None
+    else
+      let k = List.nth all ((start + tries) mod nk) in
+      match sites_of m k with
+      | [] -> go (tries + 1)
+      | sites ->
+        let f, i = List.nth sites (next r (List.length sites)) in
+        Some (apply r k f i)
+  in
+  go 0

@@ -296,6 +296,17 @@ and exec_func (st : state) (f : Func.t) (args : v array) : v =
   if Array.length args <> Array.length f.Func.params then
     trap "%s: expected %d arguments, got %d" f.Func.fname
       (Array.length f.Func.params) (Array.length args);
+  (* rollback reports need actionable traps: re-raise with the faulting
+     function/block/instruction attached (calls excepted — the callee frame
+     already annotated, and builtin messages keep their own prefix) *)
+  let ctx_trap (i : Instr.inst) msg =
+    let lbl =
+      match Hashtbl.find_opt f.Func.blks i.Instr.parent with
+      | Some b -> b.Func.label
+      | None -> "?"
+    in
+    trap "%s/%s: inst %d: %s" f.Func.fname lbl i.Instr.id msg
+  in
   let regs : (int, v) Hashtbl.t = Hashtbl.create 64 in
   let frame_allocs = ref [] in
   let eval = function
@@ -332,10 +343,12 @@ and exec_func (st : state) (f : Func.t) (args : v array) : v =
           match i.Instr.op with
           | Instr.Phi incs -> (
             match List.assoc_opt !prev incs with
-            | Some v -> (i.Instr.id, eval v)
+            | Some v -> (
+              try (i.Instr.id, eval v) with Trap msg -> ctx_trap i msg)
             | None ->
-              trap "%s: phi %%%d has no incoming value for block %d" f.Func.fname
-                i.Instr.id !prev)
+              ctx_trap i
+                (Printf.sprintf "phi %%%d has no incoming value for block %d"
+                   i.Instr.id !prev))
           | _ -> assert false)
         phis
     in
@@ -353,9 +366,10 @@ and exec_func (st : state) (f : Func.t) (args : v array) : v =
           st.steps <- st.steps + 1;
           st.clock <- Int64.add st.clock 1L;
           st.fuel <- st.fuel - 1;
-          if st.fuel <= 0 then trap "out of fuel (infinite loop?)";
+          if st.fuel <= 0 then ctx_trap i "out of fuel (infinite loop?)";
           (match st.hooks.on_inst with Some h -> h f i | None -> ());
-          match i.Instr.op with
+          let exec () =
+            match i.Instr.op with
           | Instr.Bin (op, a, b) ->
             Hashtbl.replace regs i.Instr.id (VI (eval_bin op (as_int (eval a)) (as_int (eval b))))
           | Instr.Fbin (op, a, b) ->
@@ -421,7 +435,11 @@ and exec_func (st : state) (f : Func.t) (args : v array) : v =
             result := (match vo with Some v -> eval v | None -> VI 0L);
             finished := true;
             terminated := true
-          | Instr.Unreachable -> trap "%s: reached unreachable" f.Func.fname
+            | Instr.Unreachable -> trap "reached unreachable"
+          in
+          match i.Instr.op with
+          | Instr.Call _ -> exec ()
+          | _ -> ( try exec () with Trap msg -> ctx_trap i msg)
         end)
       rest
   done;

@@ -31,7 +31,12 @@ let value_str (f : Func.t) = function
 
 let inst_str (f : Func.t) (i : inst) =
   let v = value_str f in
-  let lbl bid = (Func.block f bid).Func.label in
+  (* total, so diagnostics can print modules with dangling block refs *)
+  let lbl bid =
+    match Hashtbl.find_opt f.Func.blks bid with
+    | Some b -> b.Func.label
+    | None -> Printf.sprintf "?%d" bid
+  in
   let res body = Printf.sprintf "%%%d = %s" i.id body in
   match i.op with
   | Bin (o, a, b) -> res (Printf.sprintf "%s %s, %s" (bin_to_string o) (v a) (v b))

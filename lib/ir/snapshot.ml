@@ -1,0 +1,138 @@
+(** Module checkpoints for the transactional pass pipeline.
+
+    A snapshot is a cheap deep copy of an {!Irmod.t}: fresh instruction and
+    block records (generalizing {!Builder.clone_func}), fresh global
+    initializers and a fresh metadata table, while the immutable payloads
+    (operand values, labels, strings) stay shared.  {!restore} rolls a
+    module back to a captured state in place, so every handle to the module
+    (a {e Noelle} manager, a driver) keeps working across a rollback.
+    {!diff} renders a compact structural diff between two modules for
+    rollback diagnostics. *)
+
+(** Deep-copy a function, keeping its name, ids and labels. *)
+let copy_func (f : Func.t) : Func.t =
+  let g =
+    Func.create ~name:f.Func.fname
+      ~params:(Array.to_list f.Func.params)
+      ~ret:f.Func.ret
+  in
+  g.Func.next_id <- f.Func.next_id;
+  g.Func.blocks <- f.Func.blocks;
+  g.Func.is_declaration <- f.Func.is_declaration;
+  Hashtbl.iter
+    (fun id (i : Instr.inst) -> Hashtbl.replace g.Func.body id { i with Instr.op = i.Instr.op })
+    f.Func.body;
+  Hashtbl.iter
+    (fun id (b : Func.block) -> Hashtbl.replace g.Func.blks id { b with Func.insts = b.Func.insts })
+    f.Func.blks;
+  g
+
+let copy_global (g : Irmod.global) : Irmod.global =
+  { g with Irmod.init = Option.map Array.copy g.Irmod.init }
+
+(** Deep-copy a whole module. *)
+let copy_module (m : Irmod.t) : Irmod.t =
+  let c = Irmod.create ~name:m.Irmod.mname () in
+  List.iter (fun g -> Irmod.add_global c (copy_global g)) (Irmod.globals m);
+  List.iter (fun f -> Irmod.add_func c (copy_func f)) (Irmod.functions m);
+  Hashtbl.iter (fun k v -> Meta.set c.Irmod.meta k v) m.Irmod.meta;
+  c
+
+type t = { smod : Irmod.t (** private deep copy; never handed out mutable *) }
+
+(** Checkpoint the current state of [m]. *)
+let capture (m : Irmod.t) : t = { smod = copy_module m }
+
+(** Read-only view of the captured module (for diffing). *)
+let view (s : t) : Irmod.t = s.smod
+
+(** A fresh mutable module equal to the captured state (e.g. the pristine
+    original kept around for sequential fallback). *)
+let to_module (s : t) : Irmod.t = copy_module s.smod
+
+(** Roll [m] back to the captured state, in place.  The snapshot remains
+    valid and can be restored again. *)
+let restore (s : t) (m : Irmod.t) =
+  Hashtbl.reset m.Irmod.globals;
+  Hashtbl.reset m.Irmod.funcs;
+  m.Irmod.gorder <- [];
+  m.Irmod.forder <- [];
+  Hashtbl.reset m.Irmod.meta;
+  List.iter (fun g -> Irmod.add_global m (copy_global g)) (Irmod.globals s.smod);
+  List.iter (fun f -> Irmod.add_func m (copy_func f)) (Irmod.functions s.smod);
+  Hashtbl.iter (fun k v -> Meta.set m.Irmod.meta k v) s.smod.Irmod.meta
+
+(* ------------------------------------------------------------------ *)
+(* Structural diff                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let func_lines (f : Func.t) = String.split_on_char '\n' (Printer.func_str f)
+
+(** Lines present in [xs] but not in [ys] (multiset difference, order of
+    [xs] preserved). *)
+let lines_minus xs ys =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun l ->
+      Hashtbl.replace counts l (1 + Option.value ~default:0 (Hashtbl.find_opt counts l)))
+    ys;
+  List.filter
+    (fun l ->
+      match Hashtbl.find_opt counts l with
+      | Some n when n > 0 ->
+        Hashtbl.replace counts l (n - 1);
+        false
+      | _ -> l <> "")
+    xs
+
+(** Structural diff between module [a] (before) and [b] (after): function
+    additions/removals and per-function line changes, capped at [limit]
+    lines.  Returns [[]] when the modules print identically. *)
+let diff ?(limit = 24) (a : Irmod.t) (b : Irmod.t) : string list =
+  let out = ref [] and n = ref 0 in
+  let emit line =
+    if !n < limit then out := line :: !out;
+    incr n
+  in
+  let anames = List.map (fun (f : Func.t) -> f.Func.fname) (Irmod.functions a) in
+  let bnames = List.map (fun (f : Func.t) -> f.Func.fname) (Irmod.functions b) in
+  List.iter
+    (fun fn ->
+      if not (List.mem fn bnames) then
+        emit (Printf.sprintf "- function @%s removed (%d insts)" fn
+                (Func.num_insts (Irmod.func a fn))))
+    anames;
+  List.iter
+    (fun fn ->
+      if not (List.mem fn anames) then
+        emit (Printf.sprintf "+ function @%s added (%d insts)" fn
+                (Func.num_insts (Irmod.func b fn))))
+    bnames;
+  List.iter
+    (fun fn ->
+      if List.mem fn bnames then begin
+        let la = func_lines (Irmod.func a fn) in
+        let lb = func_lines (Irmod.func b fn) in
+        if la <> lb then begin
+          emit (Printf.sprintf "@ function @%s changed:" fn);
+          List.iter (fun l -> emit ("  - " ^ String.trim l)) (lines_minus la lb);
+          List.iter (fun l -> emit ("  + " ^ String.trim l)) (lines_minus lb la)
+        end
+      end)
+    anames;
+  let ga = List.map (fun (g : Irmod.global) -> g.Irmod.gname) (Irmod.globals a) in
+  let gb = List.map (fun (g : Irmod.global) -> g.Irmod.gname) (Irmod.globals b) in
+  List.iter
+    (fun g -> if not (List.mem g gb) then emit (Printf.sprintf "- global @%s removed" g))
+    ga;
+  List.iter
+    (fun g -> if not (List.mem g ga) then emit (Printf.sprintf "+ global @%s added" g))
+    gb;
+  let shown = List.rev !out in
+  if !n > limit then shown @ [ Printf.sprintf "... (%d more diff lines)" (!n - limit) ]
+  else shown
+
+(** [equal a b] is true when the two modules print identically (used by
+    tests and by no-op detection). *)
+let equal (a : Irmod.t) (b : Irmod.t) =
+  String.equal (Printer.module_str a) (Printer.module_str b)

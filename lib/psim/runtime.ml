@@ -32,6 +32,52 @@ type task = {
   mutable clock : int64;
 }
 
+(* ------------------------------------------------------------------ *)
+(* Fault injection                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** A plan for injected task failures.  [death ~tid ~attempt] is [Some n]
+    when task [tid] must die after executing [n] instructions on its
+    [attempt]-th run of a parallel section (attempts count from 1).
+    A deterministic plan makes every failure replayable. *)
+type fault = {
+  death : tid:int -> attempt:int -> int64 option;
+  max_restarts : int; (** section restarts allowed before giving up *)
+}
+
+exception Task_failure of int
+(** Raised inside a dying fiber, carrying its tid. *)
+
+exception Parallel_failed of string
+(** A parallel section exceeded its restart budget. *)
+
+(** Transient failures drawn from [seed]: roughly one task in [rate] dies
+    partway through its first attempt; re-execution always succeeds. *)
+let seeded_fault ?(max_restarts = 2) ?(rate = 3) ~seed () : fault =
+  {
+    max_restarts;
+    death =
+      (fun ~tid ~attempt ->
+        if attempt > 1 then None
+        else begin
+          let h =
+            ref (Int64.add (Int64.mul (Int64.of_int (seed + 1)) 2654435761L)
+                   (Int64.mul (Int64.of_int (tid + 1)) 40503L))
+          in
+          let draw () =
+            h := Int64.add (Int64.mul !h 6364136223846793005L) 1442695040888963407L;
+            Int64.to_int (Int64.shift_right_logical !h 33)
+          in
+          if draw () mod max 1 rate = 0 then Some (Int64.of_int (20 + (draw () mod 400)))
+          else None
+        end);
+  }
+
+(** A persistent fault: task [tid] dies early on {e every} attempt, forcing
+    the restart budget to run out (exercises the sequential fallback). *)
+let persistent_fault ?(max_restarts = 2) ~tid () : fault =
+  { max_restarts; death = (fun ~tid:t ~attempt:_ -> if t = tid then Some 10L else None) }
+
 type t = {
   st : Interp.state;
   mutable latency : int64;           (** core-to-core latency *)
@@ -44,10 +90,23 @@ type t = {
   mutable sections : int;            (** parallel sections executed *)
   mutable par_cycles : int64;        (** cycles spent inside parallel sections *)
   mutable tasks_executed : int;
+  (* resilience *)
+  mutable fault : fault option;
+  mutable restarts : int;            (** section restarts performed *)
+  mutable task_log : (int * int * string) list;
+      (** (tid, attempt, event) dispositions, most recent first *)
 }
 
 let stats_sections (t : t) = t.sections
 let stats_par_cycles (t : t) = t.par_cycles
+let stats_restarts (t : t) = t.restarts
+
+(** Per-task disposition log in chronological order. *)
+let dispositions (t : t) = List.rev t.task_log
+
+let dispositions_to_string (log : (int * int * string) list) =
+  String.concat "\n"
+    (List.map (fun (tid, att, ev) -> Printf.sprintf "task %d attempt %d: %s" tid att ev) log)
 
 (* ------------------------------------------------------------------ *)
 (* Fiber scheduler                                                     *)
@@ -57,12 +116,103 @@ type status =
   | Done
   | Blocked of (unit -> bool) * (unit, status) Effect.Deep.continuation
 
-let run_tasks (r : t) (tasks : task list) =
+(* A checkpoint of everything a parallel section can mutate, so a section
+   whose task died can be re-executed from scratch (retry-with-re-execution
+   needs a clean slate: DSWP queue pops are destructive). *)
+type section_snap = {
+  s_mem : Interp.v array;
+  s_brk : int;
+  s_allocs : (int, Interp.alloc) Hashtbl.t;
+  s_out_len : int;
+  s_steps : int;
+  s_fuel : int;
+  s_clock : int64;
+  s_rng : int64;
+  s_user : (string, int64) Hashtbl.t;
+  s_queues : (int, (int64 * Interp.v) Queue.t) Hashtbl.t;
+  s_sigs : (int, int64 * int64) Hashtbl.t;
+  s_next_handle : int;
+  s_next_tid : int;
+}
+
+let snapshot_section (r : t) : section_snap =
+  let st = r.st in
+  let allocs = Hashtbl.create (Hashtbl.length st.Interp.allocs) in
+  Hashtbl.iter
+    (fun k (a : Interp.alloc) -> Hashtbl.replace allocs k { a with Interp.alive = a.Interp.alive })
+    st.Interp.allocs;
+  let user = Hashtbl.copy st.Interp.user in
+  let queues = Hashtbl.create (Hashtbl.length r.queues) in
+  Hashtbl.iter (fun k q -> Hashtbl.replace queues k (Queue.copy q)) r.queues;
+  let sigs = Hashtbl.create (Hashtbl.length r.sigs) in
+  Hashtbl.iter (fun k (v, stamp) -> Hashtbl.replace sigs k (!v, !stamp)) r.sigs;
+  {
+    s_mem = Array.copy st.Interp.mem;
+    s_brk = st.Interp.brk;
+    s_allocs = allocs;
+    s_out_len = Buffer.length st.Interp.output;
+    s_steps = st.Interp.steps;
+    s_fuel = st.Interp.fuel;
+    s_clock = st.Interp.clock;
+    s_rng = st.Interp.rng;
+    s_user = user;
+    s_queues = queues;
+    s_sigs = sigs;
+    s_next_handle = r.next_handle;
+    s_next_tid = r.next_tid;
+  }
+
+let restore_section (r : t) (s : section_snap) =
+  let st = r.st in
+  st.Interp.mem <- Array.copy s.s_mem;
+  st.Interp.brk <- s.s_brk;
+  Hashtbl.reset st.Interp.allocs;
+  Hashtbl.iter
+    (fun k (a : Interp.alloc) ->
+      Hashtbl.replace st.Interp.allocs k { a with Interp.alive = a.Interp.alive })
+    s.s_allocs;
+  Buffer.truncate st.Interp.output s.s_out_len;
+  st.Interp.steps <- s.s_steps;
+  st.Interp.fuel <- s.s_fuel;
+  st.Interp.clock <- s.s_clock;
+  st.Interp.rng <- s.s_rng;
+  Hashtbl.reset st.Interp.user;
+  Hashtbl.iter (Hashtbl.replace st.Interp.user) s.s_user;
+  Hashtbl.reset r.queues;
+  Hashtbl.iter (fun k q -> Hashtbl.replace r.queues k (Queue.copy q)) s.s_queues;
+  Hashtbl.reset r.sigs;
+  Hashtbl.iter (fun k (v, stamp) -> Hashtbl.replace r.sigs k (ref v, ref stamp)) s.s_sigs;
+  r.next_handle <- s.s_next_handle;
+  r.next_tid <- s.s_next_tid
+
+(** Run one parallel section to completion.  When [death] is given, a
+    per-task instruction counter drives injected failures: the doomed
+    fiber raises {!Task_failure} mid-flight. *)
+let run_section (r : t) ?death (tasks : task list) =
   let caller_clock = r.st.Interp.clock in
   (* seed task clocks: the pool pays a spawn cost per task *)
   List.iteri
     (fun i t -> t.clock <- Int64.add caller_clock (Int64.mul spawn_cost (Int64.of_int (i + 1))))
     tasks;
+  let current = ref (-1) in
+  let old_inst = r.st.Interp.hooks.Interp.on_inst in
+  let restore_hook () = r.st.Interp.hooks.Interp.on_inst <- old_inst in
+  (match death with
+  | None -> ()
+  | Some death ->
+    let counters = Hashtbl.create 8 in
+    r.st.Interp.hooks.Interp.on_inst <-
+      Some
+        (fun f i ->
+          (match old_inst with Some h -> h f i | None -> ());
+          if !current >= 0 then begin
+            let tid = !current in
+            let c = Int64.add 1L (Option.value ~default:0L (Hashtbl.find_opt counters tid)) in
+            Hashtbl.replace counters tid c;
+            match death ~tid with
+            | Some n when c >= n -> raise (Task_failure tid)
+            | _ -> ()
+          end));
   let start (t : task) : status =
     Effect.Deep.match_with
       (fun () ->
@@ -89,38 +239,87 @@ let run_tasks (r : t) (tasks : task list) =
   let unfinished () =
     List.exists (fun (_, s) -> match !s with Some Done -> false | _ -> true) states
   in
-  while unfinished () do
-    let progressed = ref false in
-    List.iter
-      (fun ((t : task), s) ->
-        match !s with
-        | Some Done -> ()
-        | None ->
-          r.st.Interp.clock <- t.clock;
-          let st' = start t in
-          t.clock <- r.st.Interp.clock;
-          s := Some st';
-          progressed := true
-        | Some (Blocked (cond, k)) ->
-          if cond () then begin
+  try
+    while unfinished () do
+      let progressed = ref false in
+      List.iter
+        (fun ((t : task), s) ->
+          match !s with
+          | Some Done -> ()
+          | None ->
             r.st.Interp.clock <- t.clock;
-            let st' = Effect.Deep.continue k () in
+            current := t.tid;
+            let st' = start t in
+            current := -1;
             t.clock <- r.st.Interp.clock;
             s := Some st';
             progressed := true
-          end)
+          | Some (Blocked (cond, k)) ->
+            if cond () then begin
+              r.st.Interp.clock <- t.clock;
+              current := t.tid;
+              let st' = Effect.Deep.continue k () in
+              current := -1;
+              t.clock <- r.st.Interp.clock;
+              s := Some st';
+              progressed := true
+            end)
+        states;
+      if not !progressed then
+        Interp.trap "parallel runtime deadlock: %d tasks blocked"
+          (List.length (List.filter (fun (_, s) -> !s <> Some Done) states))
+    done;
+    restore_hook ();
+    let finish =
+      List.fold_left (fun acc (t : task) -> Int64.max acc t.clock) caller_clock tasks
+    in
+    r.st.Interp.clock <- Int64.add finish join_cost;
+    r.sections <- r.sections + 1;
+    r.par_cycles <- Int64.add r.par_cycles (Int64.sub r.st.Interp.clock caller_clock);
+    r.tasks_executed <- r.tasks_executed + List.length tasks
+  with Task_failure tid ->
+    restore_hook ();
+    current := -1;
+    (* unwind every still-suspended fiber so its frames are discarded *)
+    List.iter
+      (fun (_, s) ->
+        match !s with
+        | Some (Blocked (_, k)) -> (
+          try ignore (Effect.Deep.discontinue k (Task_failure (-1))) with _ -> ())
+        | _ -> ())
       states;
-    if not !progressed then
-      Interp.trap "parallel runtime deadlock: %d tasks blocked"
-        (List.length (List.filter (fun (_, s) -> !s <> Some Done) states))
-  done;
-  let finish =
-    List.fold_left (fun acc (t : task) -> Int64.max acc t.clock) caller_clock tasks
-  in
-  r.st.Interp.clock <- Int64.add finish join_cost;
-  r.sections <- r.sections + 1;
-  r.par_cycles <- Int64.add r.par_cycles (Int64.sub r.st.Interp.clock caller_clock);
-  r.tasks_executed <- r.tasks_executed + List.length tasks
+    raise (Task_failure tid)
+
+(** Run a section, retrying on injected task failures when a fault plan is
+    armed: every retry re-executes the {e whole} section from a checkpoint
+    (queue pops are destructive, so per-task restart would be unsound).
+    After [max_restarts] restarts the section raises {!Parallel_failed}. *)
+let run_tasks (r : t) (tasks : task list) =
+  match r.fault with
+  | None -> run_section r tasks
+  | Some fault ->
+    let snap = snapshot_section r in
+    let rec go attempt =
+      match run_section r ~death:(fun ~tid -> fault.death ~tid ~attempt) tasks with
+      | () ->
+        List.iter
+          (fun (t : task) -> r.task_log <- (t.tid, attempt, "ok") :: r.task_log)
+          tasks
+      | exception Task_failure tid ->
+        r.task_log <-
+          (tid, attempt, Printf.sprintf "died at cycle %Ld" r.st.Interp.clock) :: r.task_log;
+        restore_section r snap;
+        if attempt >= 1 + fault.max_restarts then
+          raise
+            (Parallel_failed
+               (Printf.sprintf "task %d still dying after %d attempts (%d restarts)" tid
+                  attempt (attempt - 1)))
+        else begin
+          r.restarts <- r.restarts + 1;
+          go (attempt + 1)
+        end
+    in
+    go 1
 
 (* ------------------------------------------------------------------ *)
 (* Builtins                                                            *)
@@ -144,6 +343,9 @@ let install ?(arch : Noelle.Arch.t option) (st : Interp.state) : t =
       sections = 0;
       par_cycles = 0L;
       tasks_executed = 0;
+      fault = None;
+      restarts = 0;
+      task_log = [];
     }
   in
   let reg name fn = Interp.register_builtin st name fn in
@@ -259,3 +461,54 @@ let run_sequential ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) =
   (match fuel with Some f -> st.Interp.fuel <- f | None -> ());
   let v = Interp.call st entry (List.map (fun n -> Interp.VI (Int64.of_int n)) args) in
   (v, Buffer.contents st.Interp.output, st.Interp.clock)
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode execution                                             *)
+(* ------------------------------------------------------------------ *)
+
+type resilient_result = {
+  rvalue : Interp.v;
+  routput : string;
+  rcycles : int64;
+  rmode : [ `Parallel | `Sequential_fallback ];
+  rtask_log : (int * int * string) list; (** chronological dispositions *)
+  rrestarts : int;
+}
+
+let mode_to_string = function
+  | `Parallel -> "parallel"
+  | `Sequential_fallback -> "sequential-fallback"
+
+(** Run the parallelized module [m] under an optional fault plan.  Injected
+    task deaths are retried by whole-section re-execution; if a section
+    exhausts its restart budget the run degrades gracefully: the pristine
+    [original] module is executed sequentially instead, so the program
+    always completes with correct output. *)
+let run_resilient ?(entry = "main") ?(args = []) ?fuel ?arch ?fault ~(original : Irmod.t)
+    (m : Irmod.t) : resilient_result =
+  let st = Interp.create m in
+  (match fuel with Some f -> st.Interp.fuel <- f | None -> ());
+  let r = install ?arch st in
+  r.fault <- fault;
+  let vargs = List.map (fun n -> Interp.VI (Int64.of_int n)) args in
+  match Interp.call st entry vargs with
+  | v ->
+    {
+      rvalue = v;
+      routput = Buffer.contents st.Interp.output;
+      rcycles = st.Interp.clock;
+      rmode = `Parallel;
+      rtask_log = dispositions r;
+      rrestarts = r.restarts;
+    }
+  | exception Parallel_failed msg ->
+    let log = ((-1), 0, "section abandoned: " ^ msg) :: r.task_log in
+    let v, out, cycles = run_sequential ~entry ~args ?fuel original in
+    {
+      rvalue = v;
+      routput = out;
+      rcycles = cycles;
+      rmode = `Sequential_fallback;
+      rtask_log = List.rev log;
+      rrestarts = r.restarts;
+    }

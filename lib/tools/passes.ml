@@ -1,0 +1,81 @@
+(** Standard pass stack for the transactional pipeline.
+
+    Each constructor wraps one custom tool as a {!Noelle.Pipeline.pass}:
+    a closure over a {!Noelle.t} manager that transforms the module in
+    place and summarizes what it did.  {!config} wires the pipeline's
+    [on_change] hook to {!Noelle.invalidate} so cached analyses never
+    survive a mutation (commit {e or} rollback), and swaps the default
+    sequential executor for a Psim-backed one, since committed passes may
+    leave the module parallelized (calls to [task_submit] etc. only exist
+    under the parallel runtime). *)
+
+open Ir
+
+(** Differential executor backed by the parallel runtime. *)
+let psim_exec : Noelle.Pipeline.exec =
+ fun m ~args ~fuel ->
+  match Psim.Runtime.run ~args ~fuel m with
+  | v, out, _cycles, _rt -> Ok (Printf.sprintf "exit=%s\n%s" (Interp.v_to_string v) out)
+  | exception Interp.Trap msg -> Error msg
+
+let mk name apply : Noelle.Pipeline.pass = { Noelle.Pipeline.pname = name; papply = apply }
+
+let par_summary outcomes =
+  let ok = List.length (List.filter (fun (_, r) -> Result.is_ok r) outcomes) in
+  Printf.sprintf "parallelized %d loops (%d declined)" ok (List.length outcomes - ok)
+
+let licm (n : Noelle.t) =
+  mk "licm" (fun m ->
+      let s = Licm.run n m in
+      Printf.sprintf "hoisted %d insts from %d loops" s.Licm.hoisted s.Licm.loops_visited)
+
+let dead (n : Noelle.t) =
+  mk "dead" (fun m ->
+      let s = Deadfunc.run n m () in
+      Printf.sprintf "removed %d functions (%d -> %d insts)"
+        (List.length s.Deadfunc.removed)
+        s.Deadfunc.insts_before s.Deadfunc.insts_after)
+
+let doall ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) (n : Noelle.t) =
+  mk "doall" (fun m -> par_summary (Doall.run n m ~ncores ~min_hotness ~min_work ()))
+
+let helix ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) (n : Noelle.t) =
+  mk "helix" (fun m -> par_summary (Helix.run n m ~ncores ~min_hotness ~min_work ()))
+
+let dswp ?(max_stages = 3) ?(min_hotness = 0.0) ?(min_work = 0.0) (n : Noelle.t) =
+  mk "dswp" (fun m -> par_summary (Dswp.run n m ~max_stages ~min_hotness ~min_work ()))
+
+(** The standard stack: cleanups first, then the parallelizers from the
+    most to the least restrictive form (DOALL, HELIX, DSWP), each picking
+    up loops its predecessors left sequential. *)
+let standard ?ncores ?min_hotness ?min_work (n : Noelle.t) : Noelle.Pipeline.pass list =
+  [
+    licm n;
+    dead n;
+    doall ?ncores ?min_hotness ?min_work n;
+    helix ?ncores ?min_hotness ?min_work n;
+    dswp ?min_hotness ?min_work n;
+  ]
+
+(** Pipeline configuration for this stack: Psim-backed differential runs
+    and analysis-cache invalidation on every module change. *)
+let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) (n : Noelle.t) : Noelle.Pipeline.config =
+  {
+    Noelle.Pipeline.default_config with
+    Noelle.Pipeline.inputs;
+    fuel;
+    exec = psim_exec;
+    on_change = (fun () -> Noelle.invalidate n);
+  }
+
+(** Convenience driver: run the standard stack transactionally over [m],
+    optionally corrupting pass output from [inject_seed].  Returns the
+    report; [m] holds the surviving (verified, behaviour-preserving)
+    module. *)
+let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
+    ?analysis_budget (m : Irmod.t) =
+  let n = Noelle.create ?analysis_budget m in
+  Noelle.Pipeline.run
+    ~config:(config ?inputs ?fuel n)
+    ?inject:inject_seed m
+    (standard ?ncores ?min_hotness ?min_work n)

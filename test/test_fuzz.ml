@@ -205,6 +205,41 @@ let test_perspective_fuzz () =
         Alcotest.failf "seed %d: PERS changed output (%s -> %s)\n%s" seed expected got src)
     (seeds 15)
 
+let test_pipeline_fuzz () =
+  (* route fuzzed programs through the transactional pipeline: every pass
+     of the standard stack commits or rolls back, and the surviving module
+     must behave exactly like the original *)
+  List.iter
+    (fun seed ->
+      let src, expected = reference seed in
+      let _, m = compile_seed seed in
+      let report = Ntools.Passes.run_standard ~fuel:(4 * fuel) m in
+      if not report.Noelle.Pipeline.final_ok then
+        Alcotest.failf "seed %d: pipeline final module not ok\n%s\n%s" seed
+          (Noelle.Pipeline.report_to_string report)
+          src;
+      let got, _ = run_parallel ~fuel:(4 * fuel) m in
+      checks (Printf.sprintf "seed %d: pipeline output" seed) expected got)
+    (seeds 10)
+
+let test_pipeline_fuzz_injected () =
+  (* same, with each pass's output deterministically corrupted: the gates
+     must catch (or prove harmless) every fault *)
+  List.iter
+    (fun seed ->
+      let src, expected = reference seed in
+      let _, m = compile_seed seed in
+      let report =
+        Ntools.Passes.run_standard ~fuel:(4 * fuel) ~inject_seed:(31 * seed) m
+      in
+      if not report.Noelle.Pipeline.final_ok then
+        Alcotest.failf "seed %d: injected pipeline final module not ok\n%s\n%s" seed
+          (Noelle.Pipeline.report_to_string report)
+          src;
+      let got, _ = run_parallel ~fuel:(4 * fuel) m in
+      checks (Printf.sprintf "seed %d: injected pipeline output" seed) expected got)
+    (seeds 6)
+
 let test_targeted_cfgs () =
   (* §2.4: "surgically generate tests that stress a specific aspect" *)
   let cfgs =
@@ -258,5 +293,7 @@ let suite =
     tc "fuzz HELIX" test_helix_fuzz;
     tc "fuzz DSWP" test_dswp_fuzz;
     tc "fuzz Perspective" test_perspective_fuzz;
+    tc "fuzz transactional pipeline" test_pipeline_fuzz;
+    tc "fuzz pipeline under injected faults" test_pipeline_fuzz_injected;
     tc "targeted generation (2.4)" test_targeted_cfgs;
   ]

@@ -1,0 +1,381 @@
+(** Tests of the resilience layer: module snapshots, deterministic fault
+    injection, verifier rejection paths, the transactional pass pipeline,
+    and degraded-mode parallel execution. *)
+
+open Helpers
+open Ir
+
+let parse = Parser.parse_module
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* a two-loop Mini-C program: DOALL-able, store-rich, output-sensitive *)
+let loopy_src =
+  {|
+int main() {
+  int *a = malloc(64);
+  int s = 0;
+  for (int i = 0; i < 64; i++) {
+    a[i] = i * 3 - 1;
+  }
+  for (int i = 0; i < 64; i++) {
+    s += a[i];
+  }
+  print(s);
+  return 0;
+}
+|}
+
+(* hand-written IR with a phi-carried counting loop *)
+let loop_ir =
+  {|
+define i64 @main() {
+entry:
+  %1 = add 1, 2
+  %2 = mul %1, 3
+  br loop
+loop:
+  %3 = phi.i64 [entry: 0] [loop: %4]
+  %4 = add %3, 1
+  %5 = icmp.slt %4, 10
+  cbr %5, loop, done
+done:
+  %6 = sub %2, %4
+  call.void @print(%6)
+  call.void @print(%3)
+  ret 0
+}
+declare void @print(i64 %x)
+|}
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_snapshot_restore () =
+  let m = compile loopy_src in
+  let expected = output m in
+  let snap = Snapshot.capture m in
+  (* corrupt, restore, corrupt differently, restore again: the snapshot
+     must stay valid across repeated rollbacks *)
+  List.iter
+    (fun seed ->
+      (match Faultgen.inject ~seed m with
+      | Some _ -> ()
+      | None -> Alcotest.fail "no fault site found");
+      checkb "corruption changed the module"
+        (not (Snapshot.equal (Snapshot.view snap) m));
+      Snapshot.restore snap m;
+      checkb "restore rolled the module back" (Snapshot.equal (Snapshot.view snap) m))
+    [ 1; 2; 3; 4 ];
+  verifies "restored module" m;
+  checks "restored module behaves identically" expected (output m)
+
+let test_snapshot_diff () =
+  let m = compile loopy_src in
+  let snap = Snapshot.capture m in
+  checkb "no diff on identical modules" (Snapshot.diff (Snapshot.view snap) m = []);
+  ignore (Faultgen.inject ~kinds:[ Faultgen.Drop_store ] ~seed:1 m);
+  let d = Snapshot.diff (Snapshot.view snap) m in
+  checkb "diff reports the changed function"
+    (List.exists (fun l -> contains l "@main changed") d);
+  checkb "diff shows a removed line" (List.exists (fun l -> contains l "- ") d)
+
+(* ------------------------------------------------------------------ *)
+(* Verifier rejection paths                                            *)
+(* ------------------------------------------------------------------ *)
+
+let expect_invalid ~frag m =
+  match Verify.check m with
+  | Ok () -> Alcotest.failf "verifier accepted a module corrupted for %S" frag
+  | Error msg ->
+    checkb (Printf.sprintf "message %S mentions %S" msg frag) (contains msg frag)
+
+let inject_kind kind m =
+  match Faultgen.inject ~kinds:[ kind ] ~seed:1 m with
+  | Some d -> d
+  | None -> Alcotest.fail "fault generator found no site"
+
+let test_verifier_mid_terminator () =
+  let m = parse loop_ir in
+  ignore (inject_kind Faultgen.Mid_terminator m);
+  expect_invalid ~frag:"in the middle of a block" m
+
+let test_verifier_phi_mismatch () =
+  let m = parse loop_ir in
+  ignore (inject_kind Faultgen.Corrupt_phi_edge m);
+  expect_invalid ~frag:"incoming blocks do not match predecessors" m;
+  (* arity mismatch straight from source: one incoming, two predecessors *)
+  let m2 =
+    parse
+      {|
+define i64 @main() {
+entry:
+  br loop
+loop:
+  %2 = phi.i64 [entry: 0]
+  %3 = add %2, 1
+  %4 = icmp.slt %3, 10
+  cbr %4, loop, done
+done:
+  ret %3
+}
+|}
+  in
+  expect_invalid ~frag:"incoming blocks do not match predecessors" m2
+
+let test_verifier_use_before_def () =
+  let m = parse loop_ir in
+  ignore (inject_kind Faultgen.Undef_operand m);
+  expect_invalid ~frag:"undefined register" m;
+  (* use textually before the def in the same block *)
+  let m2 =
+    parse
+      {|
+define i64 @main() {
+entry:
+  %1 = add %2, 1
+  %2 = add 1, 2
+  ret %1
+}
+|}
+  in
+  expect_invalid ~frag:"not dominated by its def" m2
+
+(* ------------------------------------------------------------------ *)
+(* Transactional pipeline                                              *)
+(* ------------------------------------------------------------------ *)
+
+let corrupting_pass kind : Noelle.Pipeline.pass =
+  {
+    Noelle.Pipeline.pname = "corrupt-" ^ Faultgen.kind_to_string kind;
+    papply = (fun m -> inject_kind kind m);
+  }
+
+let small_config =
+  { Noelle.Pipeline.default_config with Noelle.Pipeline.fuel = 200_000 }
+
+let run_one ?(config = small_config) m pass =
+  let r = Noelle.Pipeline.run ~config m [ pass ] in
+  match r.Noelle.Pipeline.entries with
+  | [ e ] -> (r, e)
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+
+let test_pipeline_rolls_back_structural () =
+  List.iter
+    (fun kind ->
+      let m = parse loop_ir in
+      let pristine = Snapshot.capture m in
+      let r, e = run_one m (corrupting_pass kind) in
+      (match e.Noelle.Pipeline.eoutcome with
+      | Noelle.Pipeline.Rolled_back reason ->
+        checkb "rejected by the verifier gate" (contains reason "verifier")
+      | _ -> Alcotest.failf "%s: expected rollback" (Faultgen.kind_to_string kind));
+      checkb "rollback recorded a diff" (e.Noelle.Pipeline.ediff <> []);
+      checkb "module rolled back to the pristine state"
+        (Snapshot.equal (Snapshot.view pristine) m);
+      checkb "final module ok" r.Noelle.Pipeline.final_ok)
+    [ Faultgen.Mid_terminator; Faultgen.Corrupt_phi_edge; Faultgen.Undef_operand ]
+
+let test_pipeline_rolls_back_semantic () =
+  (* structurally valid corruptions must die at the differential gate *)
+  List.iter
+    (fun kind ->
+      let m = compile loopy_src in
+      let pristine = Snapshot.capture m in
+      let r, e = run_one m (corrupting_pass kind) in
+      (match e.Noelle.Pipeline.eoutcome with
+      | Noelle.Pipeline.Rolled_back reason ->
+        checkb
+          (Printf.sprintf "%s rejected by the differential gate (%s)"
+             (Faultgen.kind_to_string kind) reason)
+          (contains reason "differential")
+      | _ -> Alcotest.failf "%s: expected rollback" (Faultgen.kind_to_string kind));
+      checkb "module rolled back" (Snapshot.equal (Snapshot.view pristine) m);
+      checkb "final module ok" r.Noelle.Pipeline.final_ok)
+    [ Faultgen.Drop_store; Faultgen.Swap_operands ]
+
+let test_pipeline_commits_good_pass () =
+  let m = compile loopy_src in
+  let expected = output m in
+  let n = Noelle.create m in
+  let config =
+    { small_config with Noelle.Pipeline.on_change = (fun () -> Noelle.invalidate n) }
+  in
+  let r = Noelle.Pipeline.run ~config m [ Ntools.Passes.licm n; Ntools.Passes.dead n ] in
+  List.iter
+    (fun (e : Noelle.Pipeline.entry) ->
+      match e.Noelle.Pipeline.eoutcome with
+      | Noelle.Pipeline.Committed _ -> ()
+      | o ->
+        Alcotest.failf "%s: expected commit, got %s" e.Noelle.Pipeline.epass
+          (Noelle.Pipeline.outcome_to_string o))
+    r.Noelle.Pipeline.entries;
+  checkb "final ok" r.Noelle.Pipeline.final_ok;
+  checks "behaviour preserved" expected (output m)
+
+let test_pipeline_times_out () =
+  let m = parse loop_ir in
+  let pristine = Snapshot.capture m in
+  (* rewrite the loop's exit test into an unconditional back edge: still
+     verifier-valid, but the differential run never terminates *)
+  let loopify : Noelle.Pipeline.pass =
+    {
+      Noelle.Pipeline.pname = "loopify";
+      papply =
+        (fun m ->
+          let f = Irmod.func m "main" in
+          Func.iter_insts
+            (fun i ->
+              match i.Instr.op with
+              | Instr.Cbr (_, t, _) when t = i.Instr.parent -> i.Instr.op <- Instr.Br t
+              | _ -> ())
+            f;
+          "made the loop infinite");
+    }
+  in
+  let config = { small_config with Noelle.Pipeline.fuel = 20_000 } in
+  let r, e = run_one ~config m loopify in
+  (match e.Noelle.Pipeline.eoutcome with
+  | Noelle.Pipeline.Timed_out _ -> ()
+  | o -> Alcotest.failf "expected timeout, got %s" (Noelle.Pipeline.outcome_to_string o));
+  checkb "module rolled back" (Snapshot.equal (Snapshot.view pristine) m);
+  checkb "final ok" r.Noelle.Pipeline.final_ok
+
+let test_pipeline_injected_sweep () =
+  (* the full standard stack with a corrupted output per pass: whatever the
+     gates decide, the surviving module must behave like the original *)
+  let expected = output (compile loopy_src) in
+  let rollbacks = ref 0 in
+  List.iter
+    (fun seed ->
+      let m = compile loopy_src in
+      let r = Ntools.Passes.run_standard ~fuel:500_000 ~inject_seed:seed m in
+      checkb
+        (Printf.sprintf "seed %d: final module ok\n%s" seed
+           (Noelle.Pipeline.report_to_string r))
+        r.Noelle.Pipeline.final_ok;
+      rollbacks := !rollbacks + List.length (Noelle.Pipeline.rolled_back r);
+      let got, _ = run_parallel m in
+      checks (Printf.sprintf "seed %d: output preserved" seed) expected got)
+    [ 1; 2; 3; 4; 5 ];
+  checkb "the sweep exercised at least one rollback" (!rollbacks > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis budgets                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_analysis_budget_degrades () =
+  let m = compile loopy_src in
+  let a = Andersen.analyze ~budget:1 m in
+  checkb "tiny budget degrades Andersen" a.Andersen.degraded;
+  let full = Andersen.analyze m in
+  checkb "no budget, no degradation" (not full.Andersen.degraded);
+  (* a degraded manager still answers every query, conservatively *)
+  let n = Noelle.create ~analysis_budget:1 m in
+  ignore (Noelle.callgraph n);
+  let f = Irmod.func m "main" in
+  let p = Noelle.pdg n f in
+  checkb "degradation surfaces on the manager" (Noelle.degraded n);
+  checkb "budgeted PDG is flagged degraded" p.Noelle.Pdg.degraded;
+  let fullp = Noelle.pdg (Noelle.create m) f in
+  checkb "full PDG is not degraded" (not fullp.Noelle.Pdg.degraded);
+  checkb "full PDG disproves more pairs than the degraded one"
+    (fullp.Noelle.Pdg.mem_pairs_disproved > p.Noelle.Pdg.mem_pairs_disproved)
+
+let test_budgeted_pipeline_still_correct () =
+  let expected = output (compile loopy_src) in
+  let m = compile loopy_src in
+  let r = Ntools.Passes.run_standard ~fuel:500_000 ~analysis_budget:5 m in
+  checkb "budgeted pipeline final ok" r.Noelle.Pipeline.final_ok;
+  let got, _ = run_parallel m in
+  checks "budgeted pipeline preserves behaviour" expected got
+
+(* ------------------------------------------------------------------ *)
+(* Degraded-mode parallel execution                                    *)
+(* ------------------------------------------------------------------ *)
+
+let parallelized_copy src =
+  let m = compile src in
+  let n = Noelle.create m in
+  let results = Ntools.Doall.run n m ~ncores:4 ~min_hotness:0.0 ~min_work:0.0 () in
+  checkb "DOALL parallelized at least one loop"
+    (List.exists (fun (_, r) -> Result.is_ok r) results);
+  m
+
+let test_psim_no_fault () =
+  let original = compile loopy_src in
+  let expected = output original in
+  let m = parallelized_copy loopy_src in
+  let r = Psim.Runtime.run_resilient ~original m in
+  checkb "parallel mode" (r.Psim.Runtime.rmode = `Parallel);
+  checki "no restarts" 0 r.Psim.Runtime.rrestarts;
+  checks "output" expected (String.trim r.Psim.Runtime.routput)
+
+let test_psim_retry () =
+  let original = compile loopy_src in
+  let expected = output original in
+  let m = parallelized_copy loopy_src in
+  (* sweep seeds: transient faults must always be healed by re-execution,
+     and at least one seed must actually kill a task *)
+  let restarts = ref 0 in
+  List.iter
+    (fun seed ->
+      let fault = Psim.Runtime.seeded_fault ~seed () in
+      let r = Psim.Runtime.run_resilient ~fault ~original m in
+      checkb (Printf.sprintf "seed %d: stayed parallel" seed)
+        (r.Psim.Runtime.rmode = `Parallel);
+      checks (Printf.sprintf "seed %d: output" seed) expected
+        (String.trim r.Psim.Runtime.routput);
+      restarts := !restarts + r.Psim.Runtime.rrestarts;
+      List.iter
+        (fun (tid, attempt, ev) ->
+          if contains ev "died" then
+            checkb
+              (Printf.sprintf "seed %d: task %d death on attempt %d was retried" seed
+                 tid attempt)
+              (List.exists
+                 (fun (tid', a', ev') -> tid' = tid && a' > attempt && ev' = "ok")
+                 r.Psim.Runtime.rtask_log))
+        r.Psim.Runtime.rtask_log)
+    [ 1; 2; 3; 4; 5; 6 ];
+  checkb "the sweep exercised at least one restart" (!restarts > 0)
+
+let test_psim_sequential_fallback () =
+  let original = compile loopy_src in
+  let expected = output original in
+  let m = parallelized_copy loopy_src in
+  let fault = Psim.Runtime.persistent_fault ~max_restarts:2 ~tid:0 () in
+  let r = Psim.Runtime.run_resilient ~fault ~original m in
+  checkb "fell back to sequential" (r.Psim.Runtime.rmode = `Sequential_fallback);
+  checki "used the whole restart budget" 2 r.Psim.Runtime.rrestarts;
+  checks "fallback output is the original's" expected
+    (String.trim r.Psim.Runtime.routput);
+  checki "three failed attempts logged" 3
+    (List.length
+       (List.filter (fun (tid, _, ev) -> tid = 0 && contains ev "died")
+          r.Psim.Runtime.rtask_log));
+  checkb "abandonment recorded"
+    (List.exists (fun (_, _, ev) -> contains ev "abandoned") r.Psim.Runtime.rtask_log)
+
+let suite =
+  [
+    tc "snapshot restore" test_snapshot_restore;
+    tc "snapshot diff" test_snapshot_diff;
+    tc "verifier rejects mid-block terminator" test_verifier_mid_terminator;
+    tc "verifier rejects phi mismatch" test_verifier_phi_mismatch;
+    tc "verifier rejects use-before-def" test_verifier_use_before_def;
+    tc "pipeline rolls back structural faults" test_pipeline_rolls_back_structural;
+    tc "pipeline rolls back semantic faults" test_pipeline_rolls_back_semantic;
+    tc "pipeline commits good passes" test_pipeline_commits_good_pass;
+    tc "pipeline times out runaway passes" test_pipeline_times_out;
+    tc "pipeline injected-fault sweep" test_pipeline_injected_sweep;
+    tc "analysis budget degrades gracefully" test_analysis_budget_degrades;
+    tc "budgeted pipeline stays correct" test_budgeted_pipeline_still_correct;
+    tc "psim fault-free resilient run" test_psim_no_fault;
+    tc "psim transient faults retried" test_psim_retry;
+    tc "psim sequential fallback" test_psim_sequential_fallback;
+  ]
