@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck
+.PHONY: check build test faultcheck lint
 
 build:
 	dune build
@@ -12,4 +12,12 @@ faultcheck: build
 	dune exec bin/noelle_pipeline.exe -- --fuzz-seed 3 --fault-seed 8 -q
 	dune exec bin/noelle_pipeline.exe -- --fuzz-seed 3 --task-fault-seed 5 --kill-task 0 -q
 
-check: build test faultcheck
+# static race detector + sanitizers over the pristine benchmark corpus and a
+# sweep of fuzzer outputs: zero unsuppressed errors is the gate
+lint: build
+	dune exec bin/noelle_check.exe -- --kernels -q
+	for s in 1 2 3 4 5; do \
+	  dune exec bin/noelle_check.exe -- --fuzz-seed $$s -q || exit 1; \
+	done
+
+check: build test faultcheck lint

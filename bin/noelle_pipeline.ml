@@ -6,7 +6,7 @@
 open Cmdliner
 
 let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
-    analysis_budget output quiet =
+    analysis_budget check_races output quiet =
   let m =
     match (input, fuzz_seed) with
     | Some f, _ -> Ir.Parser.parse_file f
@@ -19,7 +19,8 @@ let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
   let pristine = Ir.Snapshot.capture m in
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   let report =
-    Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ?analysis_budget m
+    Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ~check_races
+      ?analysis_budget m
   in
   print_string (Noelle.Pipeline.report_to_string report);
   (* demonstrate degraded-mode parallel execution on the surviving module *)
@@ -68,6 +69,10 @@ let persistent_tid =
 let analysis_budget =
   Arg.(value & opt (some int) None & info [ "analysis-budget" ] ~docv:"N"
          ~doc:"step budget for Andersen/PDG before degrading to may-deps")
+let check_races =
+  Arg.(value & flag & info [ "check-races" ]
+         ~doc:"pre-flight gate: refuse to parallelize any loop the \
+               noelle-check race detector flags")
 let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT.ir")
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress program output")
 
@@ -76,6 +81,6 @@ let cmd =
     (Cmd.info "noelle-pipeline"
        ~doc:"Transactional pass pipeline with verification and differential gates")
     Term.(const run $ input $ fuzz_seed $ inputs $ fuel $ inject_seed $ psim_fault_seed
-          $ persistent_tid $ analysis_budget $ output $ quiet)
+          $ persistent_tid $ analysis_budget $ check_races $ output $ quiet)
 
 let () = exit (Cmd.eval' cmd)

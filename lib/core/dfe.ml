@@ -29,6 +29,7 @@ type problem = {
 type result = {
   in_ : (int, IntSet.t) Hashtbl.t;   (** block id -> IN set *)
   out : (int, IntSet.t) Hashtbl.t;   (** block id -> OUT set *)
+  iterations : int;                  (** block transfer evaluations to fixpoint *)
 }
 
 (** Solve [p] over the CFG of [f] with a worklist seeded in loop-aware
@@ -53,9 +54,11 @@ let solve (f : Func.t) (p : problem) : result =
     end
   in
   List.iter enqueue order;
+  let iterations = ref 0 in
   while not (Queue.is_empty work) do
     let b = Queue.pop work in
     Hashtbl.remove queued b;
+    incr iterations;
     match p.direction with
     | Forward ->
       let ins =
@@ -98,7 +101,7 @@ let solve (f : Func.t) (p : problem) : result =
           (try Hashtbl.find preds b with Not_found -> [])
       end
   done;
-  { in_; out }
+  { in_; out; iterations = !iterations }
 
 (* ------------------------------------------------------------------ *)
 (* Canned analyses                                                     *)
@@ -251,6 +254,64 @@ let reaching_stores ?(stack = Andersen.baseline_stack) (m : Irmod.t) (f : Func.t
   solve f
     {
       direction = Forward;
+      gen;
+      kill;
+      boundary = IntSet.empty;
+      init = IntSet.empty;
+      combine = IntSet.union;
+    }
+
+(** Live memory: which memory-reading instructions (loads and calls that
+    may read program memory) may still execute after each program point,
+    before the location they read is definitely overwritten.  Facts are
+    the ids of the reading instructions; a block kills a read when it
+    contains a store that must-alias the read's address (the value flowing
+    backward past that store can no longer be the one observed).  This is
+    the backward problem a dead-store eliminator — or the [san.dead-store]
+    checker — consults: a store whose OUT set contains no may-aliasing
+    read writes a value nobody can see. *)
+let live_memory ?(stack = Andersen.baseline_stack) (m : Irmod.t) (f : Func.t) : result =
+  let is_read (i : Instr.inst) =
+    match i.Instr.op with
+    | Instr.Load _ -> true
+    | Instr.Call (callee, _) ->
+      (* builtins that provably never read program memory are not reads *)
+      not
+        (Alias.is_pure_builtin callee || Alias.is_alloc_builtin callee
+        || Alias.is_ordered_builtin callee)
+    | _ -> false
+  in
+  let reads = Func.fold_insts (fun acc i -> if is_read i then i :: acc else acc) [] f in
+  let gen b =
+    List.fold_left
+      (fun acc (i : Instr.inst) -> if is_read i then IntSet.add i.Instr.id acc else acc)
+      IntSet.empty
+      (Func.insts_of_block f b)
+  in
+  let kill b =
+    (* a store kills the loads whose address it must-overwrites, unless the
+       load lives in this very block (then [gen] keeps it live anyway and
+       intra-block ordering is the client's business) *)
+    List.fold_left
+      (fun acc (i : Instr.inst) ->
+        match i.Instr.op with
+        | Instr.Store (_, p) ->
+          List.fold_left
+            (fun acc (j : Instr.inst) ->
+              match j.Instr.op with
+              | Instr.Load q when j.Instr.parent <> b ->
+                if Alias.alias stack m f p q = Alias.Must_alias then
+                  IntSet.add j.Instr.id acc
+                else acc
+              | _ -> acc)
+            acc reads
+        | _ -> acc)
+      IntSet.empty
+      (Func.insts_of_block f b)
+  in
+  solve f
+    {
+      direction = Backward;
       gen;
       kill;
       boundary = IntSet.empty;

@@ -20,6 +20,7 @@ module Callgraph = Callgraph
 module Env = Env
 module Task = Task
 module Dfe = Dfe
+module Check = Check
 module Loopstructure = Loopstructure
 module Invariants = Invariants
 module Invariants_llvm = Invariants_llvm

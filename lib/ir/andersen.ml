@@ -22,6 +22,16 @@ module ObjSet = Set.Make (struct
   let compare = compare
 end)
 
+let obj_to_string = function
+  | Oalloca (fn, id) -> Printf.sprintf "alloca %s/%%%d" fn id
+  | Oglob g -> Printf.sprintf "global @%s" g
+  | Omalloc (fn, id) -> Printf.sprintf "malloc %s/%%%d" fn id
+  | Ofun fn -> Printf.sprintf "function @%s" fn
+  | Oextern -> "extern"
+
+let objset_to_string (s : ObjSet.t) =
+  "{" ^ String.concat ", " (List.map obj_to_string (ObjSet.elements s)) ^ "}"
+
 type var =
   | Vreg of string * int
   | Varg of string * int

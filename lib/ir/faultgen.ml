@@ -16,6 +16,8 @@ type kind =
   | Corrupt_phi_edge  (** one incoming edge retargeted to a bogus block *)
   | Undef_operand     (** one operand replaced by an undefined register *)
   | Mid_terminator    (** a [ret] spliced into the middle of a block *)
+  | Uninit_load       (** a load from a fresh, never-stored alloca *)
+  | Wild_store        (** a store through a freed or out-of-bounds pointer *)
 
 let kind_to_string = function
   | Drop_store -> "drop-store"
@@ -24,11 +26,26 @@ let kind_to_string = function
   | Corrupt_phi_edge -> "corrupt-phi-edge"
   | Undef_operand -> "undef-operand"
   | Mid_terminator -> "mid-terminator"
+  | Uninit_load -> "uninit-load"
+  | Wild_store -> "wild-store"
 
 (** Is the fault class one the verifier alone must catch? *)
 let structural = function
   | Corrupt_phi_edge | Undef_operand | Mid_terminator -> true
-  | Drop_store | Swap_operands | Corrupt_phi_value -> false
+  | Drop_store | Swap_operands | Corrupt_phi_value | Uninit_load | Wild_store ->
+    false
+
+(** The fault classes a broken transformation produces; the default draw of
+    {!inject} (deliberately excludes the sanitizer plants below, whose
+    corruptions are invisible to a differential run). *)
+let transform_kinds =
+  [ Drop_store; Swap_operands; Corrupt_phi_value; Corrupt_phi_edge;
+    Undef_operand; Mid_terminator ]
+
+(** The semantic memory bugs a sanitizer must catch: planted code whose
+    behaviour only a memory-state oracle (static checker or instrumented
+    interpreter) can distinguish from a healthy module. *)
+let sanitizer_kinds = [ Uninit_load; Wild_store ]
 
 (* deterministic 64-bit LCG (MMIX constants) *)
 type rng = { mutable s : int64 }
@@ -37,8 +54,26 @@ let next (r : rng) bound =
   r.s <- Int64.add (Int64.mul r.s 6364136223846793005L) 1442695040888963407L;
   Int64.to_int (Int64.rem (Int64.shift_right_logical r.s 33) (Int64.of_int (max 1 bound)))
 
+(** The function the interpreter will actually enter: sanitizer plants go
+    at the top of its entry block so a planted fault is guaranteed to
+    execute (the differential harness relies on this). *)
+let entry_function (m : Irmod.t) : Func.t option =
+  match Irmod.func_opt m "main" with
+  | Some f when not f.Func.is_declaration -> Some f
+  | _ -> (match Irmod.defined_functions m with f :: _ -> Some f | [] -> None)
+
 (* candidate sites, enumerated in deterministic layout order *)
 let sites_of (m : Irmod.t) (k : kind) : (Func.t * Instr.inst) list =
+  match k with
+  | Uninit_load | Wild_store -> (
+    (* one site: the first instruction of the entry function's entry block *)
+    match entry_function m with
+    | Some f -> (
+      match (Func.block f (Func.entry f)).Func.insts with
+      | id :: _ -> [ (f, Func.inst f id) ]
+      | [] -> [])
+    | None -> [])
+  | _ ->
   let out = ref [] in
   List.iter
     (fun (f : Func.t) ->
@@ -67,9 +102,72 @@ let sites_of (m : Irmod.t) (k : kind) : (Func.t * Instr.inst) list =
     (Irmod.defined_functions m);
   List.rev !out
 
-let apply (r : rng) (k : kind) (f : Func.t) (i : Instr.inst) : string =
-  let where = Printf.sprintf "%s/inst %d" f.Func.fname i.Instr.id in
+(** Structured description of an injected fault: which class, where, and —
+    for sanitizer plants — the id of the planted faulty memory instruction
+    (the one a checker must point at). *)
+type info = {
+  idesc : string;
+  ikind : kind;
+  ifunc : string;
+  iinst : int;
+}
+
+let declare_alloc_builtins (m : Irmod.t) =
+  let dec name params ret =
+    if Irmod.func_opt m name = None then
+      Irmod.add_func m (Func.declare ~name ~params ~ret)
+  in
+  dec "malloc" [ ("n", Ty.I64) ] Ty.Ptr;
+  dec "free" [ ("p", Ty.Ptr) ] Ty.Void
+
+let apply_info (r : rng) (m : Irmod.t) (k : kind) (f : Func.t) (i : Instr.inst) : info =
+  let before = i.Instr.id in
+  let faulty =
+    match k with
+    | Uninit_load ->
+      let a =
+        Builder.insert_before f ~before (Instr.Alloca (Instr.Cint 1L)) Ty.Ptr
+      in
+      let ld =
+        Builder.insert_before f ~before (Instr.Load (Instr.Reg a.Instr.id)) Ty.I64
+      in
+      Some ld
+    | Wild_store ->
+      declare_alloc_builtins m;
+      let p =
+        Builder.insert_before f ~before
+          (Instr.Call (Instr.Glob "malloc", [ Instr.Cint 2L ]))
+          Ty.Ptr
+      in
+      if next r 2 = 0 then begin
+        (* use-after-free: free the block, then store through the stale ptr *)
+        ignore
+          (Builder.insert_before f ~before
+             (Instr.Call (Instr.Glob "free", [ Instr.Reg p.Instr.id ]))
+             Ty.Void);
+        Some
+          (Builder.insert_before f ~before
+             (Instr.Store (Instr.Cint 7L, Instr.Reg p.Instr.id))
+             Ty.Void)
+      end
+      else begin
+        (* out-of-bounds: index far past the 2-word allocation *)
+        let g =
+          Builder.insert_before f ~before
+            (Instr.Gep (Instr.Reg p.Instr.id, Instr.Cint 1073741824L))
+            Ty.Ptr
+        in
+        Some
+          (Builder.insert_before f ~before
+             (Instr.Store (Instr.Cint 7L, Instr.Reg g.Instr.id))
+             Ty.Void)
+      end
+    | _ -> None
+  in
+  let target = match faulty with Some t -> t | None -> i in
+  let where = Printf.sprintf "%s/inst %d" f.Func.fname target.Instr.id in
   (match (k, i.Instr.op) with
+  | (Uninit_load | Wild_store), _ -> () (* planted above *)
   | Drop_store, Instr.Store _ -> Builder.remove f i.Instr.id
   | Swap_operands, Instr.Bin (op, a, b) -> i.Instr.op <- Instr.Bin (op, b, a)
   | Corrupt_phi_value, Instr.Phi incs ->
@@ -101,19 +199,19 @@ let apply (r : rng) (k : kind) (f : Func.t) (i : Instr.inst) : string =
     | x :: rest -> b.Func.insts <- x :: t.Instr.id :: rest
     | [] -> ())
   | _ -> ());
-  Printf.sprintf "%s at %s" (kind_to_string k) where
+  {
+    idesc = Printf.sprintf "%s at %s" (kind_to_string k) where;
+    ikind = k;
+    ifunc = f.Func.fname;
+    iinst = target.Instr.id;
+  }
 
-(** Inject one seeded fault into [m].  Returns a description of what was
-    corrupted, or [None] when the module offers no opportunity.  When
-    [kinds] is given only those fault classes are drawn from. *)
-let inject ?kinds ~seed (m : Irmod.t) : string option =
-  let all =
-    match kinds with
-    | Some ks -> ks
-    | None ->
-      [ Drop_store; Swap_operands; Corrupt_phi_value; Corrupt_phi_edge;
-        Undef_operand; Mid_terminator ]
-  in
+(** Inject one seeded fault into [m] and describe it.  Returns [None] when
+    the module offers no opportunity.  When [kinds] is given only those
+    fault classes are drawn from; the default draw is {!transform_kinds}
+    (sanitizer plants must be requested explicitly). *)
+let inject_info ?kinds ~seed (m : Irmod.t) : info option =
+  let all = match kinds with Some ks -> ks | None -> transform_kinds in
   let r = { s = Int64.add 0x9e3779b97f4a7c15L (Int64.of_int seed) } in
   ignore (next r 1);
   (* try fault classes starting from a seeded offset until one has a site *)
@@ -127,6 +225,9 @@ let inject ?kinds ~seed (m : Irmod.t) : string option =
       | [] -> go (tries + 1)
       | sites ->
         let f, i = List.nth sites (next r (List.length sites)) in
-        Some (apply r k f i)
+        Some (apply_info r m k f i)
   in
   go 0
+
+let inject ?kinds ~seed (m : Irmod.t) : string option =
+  Option.map (fun x -> x.idesc) (inject_info ?kinds ~seed m)

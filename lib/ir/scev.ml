@@ -327,6 +327,80 @@ let classify_pair ~(outer : int) ~(spans : (int * int64) list) (a : poly) (b : p
       else `Unknown
     end
 
+(** Value range [(lo, hi)] (inclusive) a counted header phi takes {e while
+    the loop body executes}: the bound query behind out-of-bounds checking.
+    Unlike {!phi_span} (an over-approximation that is conservative for
+    dependence disproof), this must be exact — a bound query feeding a
+    definite-error verdict cannot over-approximate — so it only answers for
+    the canonical counted shape: single exit edge leaving from the phi's own
+    header, whose branch tests an [icmp] of the phi against a constant, with
+    a constant start and constant additive step. *)
+let phi_range (f : Func.t) (nest : Loopnest.t) (phi : Instr.inst) :
+    (int64 * int64) option =
+  match Loopnest.loop_of_header nest phi.Instr.parent with
+  | None -> None
+  | Some sl -> (
+    match (Loopnest.exit_edges f sl, phi.Instr.op) with
+    | [ (eb, edst) ], Instr.Phi incs when eb = phi.Instr.parent -> (
+      let outside, inside =
+        List.partition (fun (p, _) -> not (Loopnest.contains sl p)) incs
+      in
+      match (outside, inside) with
+      | [ (_, Instr.Cint start) ], [ (_, Instr.Reg u) ] -> (
+        match Func.inst_opt f u with
+        | Some { Instr.op = Instr.Bin (Instr.Add, a, Instr.Cint step); _ }
+          when Instr.value_equal a (Instr.Reg phi.Instr.id)
+               && not (Int64.equal step 0L) -> (
+          match Func.terminator f eb with
+          | Some { Instr.op = Instr.Cbr (Instr.Reg c, tdst, fdst); _ }
+            when tdst <> fdst -> (
+            match Func.inst_opt f c with
+            | Some { Instr.op = Instr.Icmp (pred, x, Instr.Cint bnd); _ }
+              when Instr.value_equal x (Instr.Reg phi.Instr.id) -> (
+              (* normalize to the predicate under which the body executes *)
+              let negate = function
+                | Instr.Slt -> Instr.Sge | Instr.Sge -> Instr.Slt
+                | Instr.Sle -> Instr.Sgt | Instr.Sgt -> Instr.Sle
+                | Instr.Eq -> Instr.Ne | Instr.Ne -> Instr.Eq
+              in
+              let cont = if fdst = edst then pred else negate pred in
+              let last_below b =
+                (* largest start + k*step <= b reachable with step > 0 *)
+                if start > b then None
+                else Some (Int64.add start (Int64.mul (Int64.div (Int64.sub b start) step) step))
+              in
+              let last_above b =
+                (* smallest start + k*step >= b reachable with step < 0 *)
+                if start < b then None
+                else Some (Int64.add start (Int64.mul (Int64.div (Int64.sub b start) step) step))
+              in
+              match (cont, step > 0L) with
+              | Instr.Slt, true ->
+                Option.map (fun hi -> (start, hi)) (last_below (Int64.sub bnd 1L))
+              | Instr.Sle, true ->
+                Option.map (fun hi -> (start, hi)) (last_below bnd)
+              | Instr.Sgt, false ->
+                Option.map (fun lo -> (lo, start)) (last_above (Int64.add bnd 1L))
+              | Instr.Sge, false ->
+                Option.map (fun lo -> (lo, start)) (last_above bnd)
+              | Instr.Ne, true ->
+                (* terminates iff the lattice hits bnd exactly *)
+                if bnd > start && Int64.equal (Int64.rem (Int64.sub bnd start) step) 0L
+                then Some (start, Int64.sub bnd step)
+                else None
+              | Instr.Ne, false ->
+                if bnd < start && Int64.equal (Int64.rem (Int64.sub bnd start) step) 0L
+                then Some (Int64.sub bnd step, start)
+                else None
+              | Instr.Eq, _ ->
+                if Int64.equal start bnd then Some (start, start) else None
+              | _ -> None)
+            | _ -> None)
+          | _ -> None)
+        | _ -> None)
+      | _ -> None)
+    | _ -> None)
+
 (** Is the dependence between two affine accesses loop-carried?  With equal
     bases and equal scales, the accesses collide across iterations iff the
     offset difference is a nonzero multiple of the scale; distance 0 means

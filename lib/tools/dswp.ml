@@ -505,7 +505,8 @@ let transform (n : Noelle.t) (m : Irmod.t) (plan : plan) : stats =
 
 (** Run DSWP over the hottest eligible loops. *)
 let run (n : Noelle.t) (m : Irmod.t) ?(max_stages = 3) ?(min_hotness = 0.05)
-    ?(min_work = 20000.0) () : (string * (stats, string) result) list =
+    ?(min_work = 20000.0) ?(skip = fun (_ : string) -> false) () :
+    (string * (stats, string) result) list =
   Noelle.set_tool n "DSWP";
   let results = ref [] in
   let attempted : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -533,6 +534,11 @@ let run (n : Noelle.t) (m : Irmod.t) ?(max_stages = 3) ?(min_hotness = 0.05)
             | lp :: rest -> (
               let id = Loop.id lp in
               Hashtbl.replace attempted id ();
+              if skip id then begin
+                results := (id, Error "skipped: loop flagged by race detector") :: !results;
+                try_loops rest
+              end
+              else
               match Parutil.candidate_of n f lp with
               | Error e ->
                 results := (id, Error e) :: !results;

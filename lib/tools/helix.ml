@@ -409,7 +409,8 @@ let transform (n : Noelle.t) (m : Irmod.t) (plan : plan) ~(ncores : int) : stats
   }
 
 (** Run HELIX over the hottest eligible loops of the module. *)
-let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_work = 20000.0) () :
+let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_work = 20000.0)
+    ?(skip = fun (_ : string) -> false) () :
     (string * (stats, string) result) list =
   Noelle.set_tool n "HELIX";
   let results = ref [] in
@@ -439,6 +440,11 @@ let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_
             | lp :: rest -> (
               let id = Loop.id lp in
               Hashtbl.replace attempted id ();
+              if skip id then begin
+                results := (id, Error "skipped: loop flagged by race detector") :: !results;
+                try_loops rest
+              end
+              else
               match Parutil.candidate_of n f lp with
               | Error e ->
                 results := (id, Error e) :: !results;

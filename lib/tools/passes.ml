@@ -36,25 +36,39 @@ let dead (n : Noelle.t) =
         (List.length s.Deadfunc.removed)
         s.Deadfunc.insts_before s.Deadfunc.insts_after)
 
-let doall ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) (n : Noelle.t) =
-  mk "doall" (fun m -> par_summary (Doall.run n m ~ncores ~min_hotness ~min_work ()))
+(* The race gate is recomputed against the module as it stands when the
+   parallelizer pass actually runs — earlier passes may have changed it. *)
+let gate check_races m =
+  if check_races then Lint.race_gate m else fun (_ : string) -> false
 
-let helix ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) (n : Noelle.t) =
-  mk "helix" (fun m -> par_summary (Helix.run n m ~ncores ~min_hotness ~min_work ()))
+let doall ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
+    (n : Noelle.t) =
+  mk "doall" (fun m ->
+      par_summary (Doall.run n m ~ncores ~min_hotness ~min_work ~skip:(gate check_races m) ()))
 
-let dswp ?(max_stages = 3) ?(min_hotness = 0.0) ?(min_work = 0.0) (n : Noelle.t) =
-  mk "dswp" (fun m -> par_summary (Dswp.run n m ~max_stages ~min_hotness ~min_work ()))
+let helix ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
+    (n : Noelle.t) =
+  mk "helix" (fun m ->
+      par_summary (Helix.run n m ~ncores ~min_hotness ~min_work ~skip:(gate check_races m) ()))
+
+let dswp ?(max_stages = 3) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
+    (n : Noelle.t) =
+  mk "dswp" (fun m ->
+      par_summary (Dswp.run n m ~max_stages ~min_hotness ~min_work ~skip:(gate check_races m) ()))
 
 (** The standard stack: cleanups first, then the parallelizers from the
     most to the least restrictive form (DOALL, HELIX, DSWP), each picking
-    up loops its predecessors left sequential. *)
-let standard ?ncores ?min_hotness ?min_work (n : Noelle.t) : Noelle.Pipeline.pass list =
+    up loops its predecessors left sequential.  With [check_races] set,
+    every loop the static race detector flags is refused up front
+    ([noelle-pipeline --check-races]). *)
+let standard ?ncores ?min_hotness ?min_work ?check_races (n : Noelle.t) :
+    Noelle.Pipeline.pass list =
   [
     licm n;
     dead n;
-    doall ?ncores ?min_hotness ?min_work n;
-    helix ?ncores ?min_hotness ?min_work n;
-    dswp ?min_hotness ?min_work n;
+    doall ?ncores ?min_hotness ?min_work ?check_races n;
+    helix ?ncores ?min_hotness ?min_work ?check_races n;
+    dswp ?min_hotness ?min_work ?check_races n;
   ]
 
 (** Pipeline configuration for this stack: Psim-backed differential runs
@@ -73,9 +87,9 @@ let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) (n : Noelle.t) : Noelle.Pipeli
     report; [m] holds the surviving (verified, behaviour-preserving)
     module. *)
 let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
-    ?analysis_budget (m : Irmod.t) =
+    ?check_races ?analysis_budget (m : Irmod.t) =
   let n = Noelle.create ?analysis_budget m in
   Noelle.Pipeline.run
     ~config:(config ?inputs ?fuel n)
     ?inject:inject_seed m
-    (standard ?ncores ?min_hotness ?min_work n)
+    (standard ?ncores ?min_hotness ?min_work ?check_races n)
