@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint
+.PHONY: check build test faultcheck lint verify-meta
 
 build:
 	dune build
@@ -20,4 +20,11 @@ lint: build
 	  dune exec bin/noelle_check.exe -- --fuzz-seed $$s -q || exit 1; \
 	done
 
-check: build test faultcheck lint
+# metadata trust gate: embed every analysis artifact over the pristine
+# corpus, round-trip through the printer/parser, transform with the
+# verify-meta pipeline gate on — zero stale/corrupt artifacts may survive
+# and every pristine reload must take the verified fast path
+verify-meta: build
+	dune exec bin/noelle_meta_verify.exe -- --kernels --roundtrip --limit 10
+
+check: build test faultcheck lint verify-meta

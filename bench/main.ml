@@ -560,6 +560,57 @@ let ablation_aa () =
         name (count false) (count true))
     [ "dijkstra"; "stringsearch"; "dedup"; "blackscholes" ]
 
+(** Verified-reload vs recompute: what the Trust fast path is worth.
+    Embeds every function's PDG, then times (a) reloading them through
+    stamp verification and (b) recomputing them from scratch, per
+    kernel. *)
+let trust_section () =
+  banner "Trust: verified PDG reload vs demand recompute";
+  let iters = 50 in
+  (* per-iteration ms for: fresh manager + PDG query for every function *)
+  let time_queries m fns =
+    let t0 = Sys.time () in
+    for _ = 1 to iters do
+      let n = Noelle.create m in
+      List.iter (fun f -> ignore (Noelle.pdg n f)) fns
+    done;
+    (Sys.time () -. t0) *. 1000. /. float_of_int iters
+  in
+  let row name m =
+    let fns = Ir.Irmod.defined_functions m in
+    let n0 = Noelle.create m in
+    List.iter (fun f -> Noelle.Pdg.embed (Noelle.pdg n0 f)) fns;
+    (* sanity: the reload arm must actually take the verified fast path *)
+    let ns = Noelle.create m in
+    List.iter (fun f -> ignore (Noelle.pdg ns f)) fns;
+    if Noelle.fast_reloads ns <> List.length fns then
+      failwith (name ^ ": stamped artifacts did not fast-reload");
+    (* bare: same module minus the embedded artifacts, so every query
+       misses and rebuilds — both arms run the exact manager path *)
+    let bare = Ir.Snapshot.copy_module m in
+    Ir.Meta.clear_prefix bare.Ir.Irmod.meta "pdg.";
+    let reload_ms = time_queries m fns in
+    let recompute_ms = time_queries bare (Ir.Irmod.defined_functions bare) in
+    Printf.printf
+      "  %-14s %d fns: verified reload %6.3f ms, recompute %6.3f ms (%.1fx)\n"
+      name (List.length fns) reload_ms recompute_ms
+      (if reload_ms > 0. then recompute_ms /. reload_ms else 0.)
+  in
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) -> row k.Bsuite.Kernels.kname (Bsuite.Kernels.compile k))
+    Bsuite.Kernels.all;
+  (* one larger module: a deep fuzz program whose alias-analysis + PDG
+     rebuild cost outgrows the verification overhead *)
+  let big_cfg =
+    { Bsuite.Generator.default_cfg with
+      Bsuite.Generator.max_depth = 4;
+      max_stmts = 24;
+      arrays = 6 }
+  in
+  row "fuzz-big"
+    (Minic.Lower.compile ~name:"fuzz-big"
+       (Bsuite.Generator.program ~cfg:big_cfg 42))
+
 (* ------------------------------------------------------------------ *)
 (* Optional: sequential test script (the paper's bash fallback, §2.4)   *)
 (* ------------------------------------------------------------------ *)
@@ -588,6 +639,7 @@ let sections =
     ("ablation-helix", ablation_helix_latency);
     ("ablation-cores", ablation_doall_cores);
     ("ablation-aa", ablation_aa);
+    ("trust", trust_section);
     ("bechamel", bechamel_section) ]
 
 let () =

@@ -18,6 +18,9 @@ let run input profile output =
      done
    with End_of_file -> ());
   close_in ic;
+  (* stamp the freshly written payload so consumers can verify it *)
+  Noelle.Trust.stamp m.Ir.Irmod.meta ~prefix:"prof." ~tool:"noelle-meta-prof-embed"
+    ~fp:(Ir.Fingerprint.module_fp m);
   let out = match output with Some o -> o | None -> input in
   Ir.Printer.to_file m out;
   Printf.printf "noelle-meta-prof-embed: %s + %s -> %s\n" input profile out;

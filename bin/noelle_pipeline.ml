@@ -6,7 +6,7 @@
 open Cmdliner
 
 let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
-    analysis_budget check_races output quiet =
+    analysis_budget check_races verify_meta output quiet =
   let m =
     match (input, fuzz_seed) with
     | Some f, _ -> Ir.Parser.parse_file f
@@ -20,7 +20,7 @@ let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   let report =
     Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ~check_races
-      ?analysis_budget m
+      ?analysis_budget ~verify_meta m
   in
   print_string (Noelle.Pipeline.report_to_string report);
   (* demonstrate degraded-mode parallel execution on the surviving module *)
@@ -73,6 +73,11 @@ let check_races =
   Arg.(value & flag & info [ "check-races" ]
          ~doc:"pre-flight gate: refuse to parallelize any loop the \
                noelle-check race detector flags")
+let verify_meta =
+  Arg.(value & flag & info [ "verify-meta" ]
+         ~doc:"metadata trust gate: quarantine embedded analysis artifacts \
+               invalidated by each committed pass, re-embed fresh ones at \
+               the end, and fail unless the final module audits clean")
 let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT.ir")
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress program output")
 
@@ -81,6 +86,6 @@ let cmd =
     (Cmd.info "noelle-pipeline"
        ~doc:"Transactional pass pipeline with verification and differential gates")
     Term.(const run $ input $ fuzz_seed $ inputs $ fuel $ inject_seed $ psim_fault_seed
-          $ persistent_tid $ analysis_budget $ check_races $ output $ quiet)
+          $ persistent_tid $ analysis_budget $ check_races $ verify_meta $ output $ quiet)
 
 let () = exit (Cmd.eval' cmd)

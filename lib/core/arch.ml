@@ -63,7 +63,12 @@ let avg_latency (t : t) =
 
 (* metadata serialization for the noelle-arch tool *)
 
-let to_meta (t : t) (meta : Ir.Meta.t) =
+(** Serialize to metadata, stamped ({!Trust.stamp}).  Architecture facts
+    are independent of the IR, so the stamp carries {!Trust.arch_fp}
+    instead of a code fingerprint — it detects payload corruption, and
+    never goes stale under transformation. *)
+let to_meta ?(tool = "noelle-arch") (t : t) (meta : Ir.Meta.t) =
+  Ir.Meta.clear_prefix meta "arch.";
   Ir.Meta.set_int meta "arch.cores" t.physical_cores;
   Ir.Meta.set_int meta "arch.smt" t.logical_per_physical;
   Ir.Meta.set_int meta "arch.numa" t.numa_nodes;
@@ -71,7 +76,8 @@ let to_meta (t : t) (meta : Ir.Meta.t) =
     for j = 0 to t.physical_cores - 1 do
       Ir.Meta.set_int meta (Printf.sprintf "arch.lat.%d.%d" i j) t.latency.(i).(j)
     done
-  done
+  done;
+  Trust.stamp meta ~prefix:"arch." ~tool ~fp:Trust.arch_fp
 
 let of_meta (meta : Ir.Meta.t) : t option =
   match Ir.Meta.get_int meta "arch.cores" with

@@ -570,10 +570,48 @@ let oob : checker =
   }
 
 (* ------------------------------------------------------------------ *)
+(* meta.verify: trust audit of embedded analysis artifacts             *)
+(* ------------------------------------------------------------------ *)
+
+(** Audit every embedded analysis artifact (PDG, profile, arch) against
+    the current IR via {!Trust}: diagnostics are [meta.stale] /
+    [meta.corrupt] / [meta.unstamped], located at the artifact's subject
+    (the function for a PDG, the module otherwise).  Severity follows
+    {!Trust.is_error}: a questionable PDG is an error (consuming it
+    miscompiles), a stale profile only a warning. *)
+let meta_verify : checker =
+  {
+    cid = "meta.verify";
+    cdoc = "embedded analysis artifacts whose stamp is stale, corrupt or missing";
+    crun =
+      (fun ctx ->
+        List.filter_map
+          (fun (e : Trust.event) ->
+            match e.Trust.averdict with
+            | Trust.Trusted _ -> None
+            | v ->
+              let lfunc =
+                match e.Trust.akind with
+                | Trust.Pdg_artifact fn -> fn
+                | Trust.Prof_artifact | Trust.Arch_artifact -> "<module>"
+              in
+              Some
+                {
+                  did = Trust.check_id v;
+                  dsev = (if Trust.is_error e then Error else Warning);
+                  dloc = { lfunc; lblock = Trust.kind_to_string e.Trust.akind; linst = -1 };
+                  dmsg = Trust.event_to_string e;
+                  dnotes = [ Printf.sprintf "artifact keys: %s*" e.Trust.aprefix ];
+                  dsuppressed = false;
+                })
+          (Trust.audit ctx.cm));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let all : checker list = [ race; uninit; dead_store; heap; oob ]
+let all : checker list = [ race; uninit; dead_store; heap; oob; meta_verify ]
 let checker_ids = List.map (fun c -> c.cid) all
 
 (** Run the selected checkers (all by default) over [m].  Each checker is

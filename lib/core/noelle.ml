@@ -36,6 +36,7 @@ module Islands = Islands
 module Arch = Arch
 module Profiler = Profiler
 module Pipeline = Pipeline
+module Trust = Trust
 
 open Ir
 
@@ -53,9 +54,17 @@ type t = {
   nests : (string, Loopnest.t) Hashtbl.t;
   mutable cg : Callgraph.t option;
   mutable arch_ : Arch.t option;
+  mutable trust_mode : Trust.mode;
+      (** what a failed metadata verification does: [Degrade] quarantines
+          the artifact and recomputes on demand; [Strict] raises
+          {!Trust.Tainted} *)
+  mutable trust_log : Trust.event list;  (** newest first *)
+  mutable fast_reloads : int;
+      (** embedded artifacts reloaded through a verified stamp *)
 }
 
-let create ?(use_noelle_aa = true) ?analysis_budget (m : Irmod.t) : t =
+let create ?(use_noelle_aa = true) ?analysis_budget ?(trust_mode = Trust.Degrade)
+    (m : Irmod.t) : t =
   {
     m;
     tool = "?";
@@ -67,6 +76,9 @@ let create ?(use_noelle_aa = true) ?analysis_budget (m : Irmod.t) : t =
     nests = Hashtbl.create 16;
     cg = None;
     arch_ = None;
+    trust_mode;
+    trust_log = [];
+    fast_reloads = 0;
   }
 
 (** Set the name of the tool issuing subsequent requests (Table 4 rows). *)
@@ -89,12 +101,37 @@ let usage_pairs (t : t) =
   Hashtbl.fold (fun k () acc -> k :: acc) t.usage []
   |> List.sort compare
 
-(** Invalidate cached analyses after a transformation mutated the module. *)
+(** Trust events observed so far (oldest first). *)
+let trust_events (t : t) = List.rev t.trust_log
+
+(** Embedded artifacts reloaded through a verified stamp so far. *)
+let fast_reloads (t : t) = t.fast_reloads
+
+(** React to a failed verification: log it, then quarantine ([Degrade])
+    or trap ([Strict]). *)
+let distrust (t : t) (e : Trust.event) =
+  t.trust_log <- e :: t.trust_log;
+  match t.trust_mode with
+  | Trust.Strict -> raise (Trust.Tainted (Trust.event_to_string e))
+  | Trust.Degrade -> Trust.quarantine t.m.Irmod.meta ~prefix:e.Trust.aprefix
+
+(** Invalidate cached analyses after a transformation mutated the module.
+    Embedded PDG artifacts are reconciled too: any whose stamp no longer
+    matches the transformed code is quarantined, so a re-request cannot
+    resurrect the stale pre-transform graph.  (Quarantine here is
+    legitimate bookkeeping, not a trust violation — strict mode does not
+    trap on it.) *)
 let invalidate (t : t) =
   t.andersen <- None;
   Hashtbl.reset t.pdgs;
   Hashtbl.reset t.nests;
-  t.cg <- None
+  t.cg <- None;
+  let evs =
+    Trust.reconcile
+      ~kinds:(function Trust.Pdg_artifact _ -> true | _ -> false)
+      t.m
+  in
+  t.trust_log <- List.rev_append evs t.trust_log
 
 let andersen (t : t) =
   match t.andersen with
@@ -109,18 +146,41 @@ let alias_stack (t : t) : Alias.stack =
   if t.use_noelle_aa then [ Alias.baseline; Andersen.analysis (andersen t) ]
   else [ Alias.baseline ]
 
-(** The PDG of function [f] (demand-driven, cached).  If the module carries
-    an embedded PDG (noelle-meta-pdg-embed), it is reloaded instead of
-    recomputed. *)
+(** The PDG of function [f] (demand-driven, cached).  If the module
+    carries an embedded PDG (noelle-meta-pdg-embed) whose stamp verifies
+    against the current code, it is reloaded instead of recomputed;
+    stale/corrupt/unstamped artifacts are distrusted (quarantined in
+    [Degrade] mode, {!Trust.Tainted} in [Strict]). *)
 let pdg (t : t) (f : Func.t) : Pdg.t =
   record t "PDG";
   match Hashtbl.find_opt t.pdgs f.Func.fname with
   | Some p -> p
   | None ->
+    let kind = Trust.Pdg_artifact f.Func.fname in
+    let prefix = Trust.prefix_of_kind kind in
+    let build () = Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) t.m f in
     let p =
-      match Pdg.of_embedded t.m f with
-      | Some p -> p
-      | None -> Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) t.m f
+      if not (Trust.has_artifact t.m.Irmod.meta ~prefix) then build ()
+      else
+        match Trust.verify_artifact t.m kind with
+        | Trust.Trusted _ -> (
+          match Pdg.of_embedded t.m f with
+          | Some p ->
+            t.fast_reloads <- t.fast_reloads + 1;
+            p
+          | None ->
+            (* checksum verified but the payload would not decode (ghost
+               edges, truncation): treat as corrupt *)
+            distrust t
+              {
+                Trust.akind = kind;
+                aprefix = prefix;
+                averdict = Trust.Corrupt "payload decode failed";
+              };
+            build ())
+        | (Trust.Unstamped | Trust.Stale _ | Trust.Corrupt _) as v ->
+          distrust t { Trust.akind = kind; aprefix = prefix; averdict = v };
+          build ()
     in
     Hashtbl.replace t.pdgs f.Func.fname p;
     p
@@ -161,16 +221,34 @@ let callgraph (t : t) : Callgraph.t =
     cg
 
 (** The architecture description (AR), from embedded metadata when the
-    noelle-arch tool ran, else measured. *)
+    noelle-arch tool ran (and its stamp verifies), else measured. *)
 let arch (t : t) : Arch.t =
   record t "AR";
   match t.arch_ with
   | Some a -> a
   | None ->
+    let meta = t.m.Irmod.meta in
     let a =
-      match Arch.of_meta t.m.Irmod.meta with
-      | Some a -> a
-      | None -> Arch.measure ()
+      if not (Trust.has_artifact meta ~prefix:"arch.") then Arch.measure ()
+      else
+        match Trust.verify_artifact t.m Trust.Arch_artifact with
+        | Trust.Trusted _ -> (
+          match Arch.of_meta meta with
+          | Some a ->
+            t.fast_reloads <- t.fast_reloads + 1;
+            a
+          | None ->
+            distrust t
+              {
+                Trust.akind = Trust.Arch_artifact;
+                aprefix = "arch.";
+                averdict = Trust.Corrupt "payload decode failed";
+              };
+            Arch.measure ())
+        | (Trust.Unstamped | Trust.Stale _ | Trust.Corrupt _) as v ->
+          distrust t
+            { Trust.akind = Trust.Arch_artifact; aprefix = "arch."; averdict = v };
+          Arch.measure ()
     in
     t.arch_ <- Some a;
     a

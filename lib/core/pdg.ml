@@ -356,10 +356,13 @@ let live_outs (t : t) (l : Loopnest.loop) : int list =
 (* ------------------------------------------------------------------ *)
 
 (** Embed the dependence edges of [t] as module metadata so they can be
-    reloaded without re-running the alias analyses. *)
-let embed (t : t) =
+    reloaded without re-running the alias analyses.  The payload is
+    stamped ({!Trust.stamp}) with a fingerprint of the function as it
+    stands now, so consumers can tell when it goes stale. *)
+let embed ?(tool = "noelle-meta-pdg-embed") (t : t) =
   let meta = t.m.Irmod.meta in
-  Meta.clear_prefix meta (Printf.sprintf "pdg.%s." t.f.Func.fname);
+  let prefix = Printf.sprintf "pdg.%s." t.f.Func.fname in
+  Meta.clear_prefix meta prefix;
   let n = ref 0 in
   List.iter
     (fun (e : Depgraph.edge) ->
@@ -375,7 +378,8 @@ let embed (t : t) =
     (string_of_int !n);
   Meta.set meta
     (Printf.sprintf "pdg.%s.stats" t.f.Func.fname)
-    (Printf.sprintf "%d %d" t.mem_pairs_total t.mem_pairs_disproved)
+    (Printf.sprintf "%d %d" t.mem_pairs_total t.mem_pairs_disproved);
+  Trust.stamp meta ~prefix ~tool ~fp:(Fingerprint.func_fp t.f)
 
 (** Reconstruct a PDG from embedded metadata; [None] if absent. *)
 let of_embedded (m : Irmod.t) (f : Func.t) : t option =
@@ -386,8 +390,11 @@ let of_embedded (m : Irmod.t) (f : Func.t) : t option =
     let g = Depgraph.create () in
     Func.iter_insts (fun i -> Depgraph.add_node g i.Instr.id) f;
     let ok = ref true in
+    (* plain concatenation: this loop is the verified-reload hot path and
+       a large function can embed tens of thousands of edge keys *)
+    let key_base = "pdg." ^ f.Func.fname ^ "." in
     for k = 0 to n - 1 do
-      match Meta.get meta (Printf.sprintf "pdg.%s.%d" f.Func.fname k) with
+      match Meta.get meta (key_base ^ string_of_int k) with
       | None -> ok := false
       | Some line -> (
         match String.split_on_char ' ' line with
@@ -397,7 +404,12 @@ let of_embedded (m : Irmod.t) (f : Func.t) : t option =
              bool_of_string_opt must)
           with
           | Some s, Some d, Some kind, Some must ->
-            ignore (Depgraph.add_edge g ~must ~kind s d)
+            (* an edge endpoint that is not an instruction of the current
+               body is a ghost: the artifact describes different code, so
+               reject it rather than silently wiring dangling edges *)
+            if Hashtbl.mem f.Func.body s && Hashtbl.mem f.Func.body d then
+              ignore (Depgraph.add_edge g ~must ~kind s d)
+            else ok := false
           | _ -> ok := false)
         | _ -> ok := false)
     done;

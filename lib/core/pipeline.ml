@@ -30,6 +30,9 @@ type entry = {
   eoutcome : outcome;
   einjected : string option; (** fault injected into this pass's output *)
   ediff : string list;       (** structural diff of a rejected change *)
+  emeta : string list;
+      (** embedded artifacts quarantined at commit by the metadata trust
+          gate ({!config.verify_meta_gate}) *)
 }
 
 type report = {
@@ -56,6 +59,11 @@ type config = {
   exec : exec;
   verify_gate : bool;
   differential_gate : bool;
+  verify_meta_gate : bool;
+      (** reconcile embedded analysis artifacts ({!Trust}) at every
+          commit — stale/corrupt ones are quarantined instead of
+          surviving into the committed module — and require the final
+          module to audit clean *)
   max_diff_lines : int;
   on_change : unit -> unit;
       (** called whenever the module mutates: after a pass ran, and after
@@ -69,6 +77,7 @@ let default_config =
     exec = interp_exec;
     verify_gate = true;
     differential_gate = true;
+    verify_meta_gate = false;
     max_diff_lines = 24;
     on_change = (fun () -> ());
   }
@@ -157,10 +166,23 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
       let diff = Snapshot.diff ~limit:config.max_diff_lines (Snapshot.view snap) m in
       Snapshot.restore snap m;
       config.on_change ();
-      { epass = p.pname; eoutcome = reason; einjected = injected; ediff = diff }
+      { epass = p.pname; eoutcome = reason; einjected = injected; ediff = diff; emeta = [] }
     in
     let commit summary =
-      { epass = p.pname; eoutcome = Committed summary; einjected = injected; ediff = [] }
+      (* the change is in: strip embedded artifacts it invalidated, so no
+         consumer downstream of this commit can reload stale analysis *)
+      let emeta =
+        if config.verify_meta_gate then
+          List.map Trust.event_to_string (Trust.reconcile m)
+        else []
+      in
+      {
+        epass = p.pname;
+        eoutcome = Committed summary;
+        einjected = injected;
+        ediff = [];
+        emeta;
+      }
     in
     match applied with
     | Error exn -> rollback (Rolled_back ("pass raised: " ^ exn))
@@ -180,6 +202,7 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
     (match Verify.check m with Ok () -> true | Error _ -> false)
     && (not config.differential_gate
        || compare_behaviours config reference (behaviours config m) = `Equal)
+    && (not config.verify_meta_gate || Trust.failures (Trust.audit m) = [])
   in
   { entries; final_ok }
 
@@ -208,6 +231,9 @@ let report_to_string (r : report) =
       (match e.einjected with
       | Some d -> Buffer.add_string b (Printf.sprintf "    injected fault: %s\n" d)
       | None -> ());
+      List.iter
+        (fun l -> Buffer.add_string b (Printf.sprintf "    quarantined %s\n" l))
+        e.emeta;
       List.iter (fun l -> Buffer.add_string b ("    " ^ l ^ "\n")) e.ediff)
     r.entries;
   Buffer.add_string b

@@ -71,7 +71,11 @@ let run ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) : t * string =
 (* Embedding (noelle-meta-prof-embed) and queries                      *)
 (* ------------------------------------------------------------------ *)
 
-let embed (p : t) (m : Irmod.t) =
+(** Embed the profile as metadata, stamped ({!Trust.stamp}) with the
+    module fingerprint: a profile describes whole-program behaviour, so
+    any code change makes it stale (a warning, not an error — profiles
+    are advisory; see {!Trust.is_error}). *)
+let embed ?(tool = "noelle-meta-prof-embed") (p : t) (m : Irmod.t) =
   let meta = m.Irmod.meta in
   Meta.clear_prefix meta "prof.";
   Hashtbl.iter
@@ -92,7 +96,8 @@ let embed (p : t) (m : Irmod.t) =
     (fun (a, b) c ->
       Meta.set meta (Printf.sprintf "prof.callpair.%s.%s" a b) (Int64.to_string c))
     p.call_pair;
-  Meta.set meta "prof.total" (Int64.to_string p.total_insts)
+  Meta.set meta "prof.total" (Int64.to_string p.total_insts);
+  Trust.stamp meta ~prefix:"prof." ~tool ~fp:(Fingerprint.module_fp m)
 
 (** Does the module carry an embedded profile? *)
 let available (m : Irmod.t) = Meta.mem m.Irmod.meta "prof.total"

@@ -1,0 +1,269 @@
+(** The metadata trust layer: self-validating embedded analysis artifacts.
+
+    NOELLE's tools communicate through analysis results embedded as IR
+    metadata (noelle-meta-pdg-embed, profile and architecture embedding).
+    Nothing ties an embedded artifact to the IR it was computed on, so a
+    consumer reloading one after a transformation silently gets the stale
+    pre-transform result — a miscompile vector.  This module closes it:
+
+    - every embedder stamps its payload with a {!Ir.Fingerprint} of the
+      code it describes, a schema version, the producing tool, and a
+      checksum of the payload itself;
+    - every consumer goes through a verified load: stamp matches → fast
+      reload; stale/corrupt/unstamped → structured diagnostic, artifact
+      quarantined, demand recompute (or a trap in {!Strict} mode).
+
+    Quarantine renames the artifact's keys under the
+    ["quarantine."] namespace: the payload stays in the module for
+    forensics but is no longer discoverable by any consumer. *)
+
+open Ir
+
+let schema_version = 1
+let quarantine_prefix = "quarantine."
+
+(** Architecture descriptions are machine facts, independent of the IR;
+    their stamps carry this fingerprint instead of a code hash. *)
+let arch_fp = "-"
+
+(** What a consumer does on a trust failure: degrade to demand recompute
+    (default) or trap. *)
+type mode = Strict | Degrade
+
+exception Tainted of string
+
+type stamp = {
+  schema : int;
+  tool : string;  (** producing tool *)
+  fp : string;  (** fingerprint of the code the artifact describes *)
+  sum : string;  (** checksum of the payload itself *)
+}
+
+type kind =
+  | Pdg_artifact of string  (** function name *)
+  | Prof_artifact
+  | Arch_artifact
+
+type verdict =
+  | Trusted of stamp
+  | Unstamped
+  | Stale of string  (** expected fingerprint *)
+  | Corrupt of string  (** what is malformed *)
+
+type event = { akind : kind; aprefix : string; averdict : verdict }
+
+let kind_to_string = function
+  | Pdg_artifact fn -> Printf.sprintf "pdg(%s)" fn
+  | Prof_artifact -> "prof"
+  | Arch_artifact -> "arch"
+
+let prefix_of_kind = function
+  | Pdg_artifact fn -> Printf.sprintf "pdg.%s." fn
+  | Prof_artifact -> "prof."
+  | Arch_artifact -> "arch."
+
+let stamp_key prefix = prefix ^ "stamp"
+
+(* ------------------------------------------------------------------ *)
+(* Stamps                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Checksum of the payload under [prefix]: every key=value pair except
+    the stamp itself.  Per-pair hashes are combined with xor, which is
+    order-independent — a PDG payload can hold tens of thousands of
+    edge keys, and sorting them on every verification would cost more
+    than the hash itself. *)
+let payload_sum (meta : Meta.t) ~prefix =
+  let skey = stamp_key prefix in
+  Meta.fold_prefix meta prefix
+    (fun k v acc ->
+      if k = skey then acc
+      else acc lxor Fingerprint.feed (Fingerprint.feed Fingerprint.seed k) v)
+    Fingerprint.seed
+  |> Fingerprint.to_hex
+
+let stamp_to_string (s : stamp) =
+  Printf.sprintf "v=%d tool=%s fp=%s sum=%s" s.schema s.tool s.fp s.sum
+
+let stamp_of_string line =
+  let field name kv =
+    let p = name ^ "=" in
+    if String.length kv > String.length p && String.sub kv 0 (String.length p) = p
+    then Some (String.sub kv (String.length p) (String.length kv - String.length p))
+    else None
+  in
+  match String.split_on_char ' ' line with
+  | [ v; tool; fp; sum ] -> (
+    match (field "v" v, field "tool" tool, field "fp" fp, field "sum" sum) with
+    | Some v, Some tool, Some fp, Some sum -> (
+      match int_of_string_opt v with
+      | Some schema -> Some { schema; tool; fp; sum }
+      | None -> None)
+    | _ -> None)
+  | _ -> None
+
+(** Stamp the artifact under [prefix]: record producing [tool], the code
+    fingerprint [fp], and a checksum of the payload as it stands now.
+    Call after the payload keys are written. *)
+let stamp (meta : Meta.t) ~prefix ~tool ~fp =
+  let s = { schema = schema_version; tool; fp; sum = payload_sum meta ~prefix } in
+  Meta.set meta (stamp_key prefix) (stamp_to_string s)
+
+(** Is there any key under [prefix] (stamped or not)? *)
+let has_artifact (meta : Meta.t) ~prefix =
+  Meta.fold_prefix meta prefix (fun _ _ _ -> true) false
+
+(** Verify the artifact under [prefix] against the expected code
+    fingerprint [fp]. *)
+let verify (meta : Meta.t) ~prefix ~fp : verdict =
+  match Meta.get meta (stamp_key prefix) with
+  | None -> Unstamped
+  | Some line -> (
+    match stamp_of_string line with
+    | None -> Corrupt "malformed stamp"
+    | Some s ->
+      if s.schema <> schema_version then
+        Corrupt (Printf.sprintf "schema v=%d (expected v=%d)" s.schema schema_version)
+      else if s.sum <> payload_sum meta ~prefix then Corrupt "payload checksum mismatch"
+      else if s.fp <> fp then Stale s.fp
+      else Trusted s)
+
+(** Move the artifact under [prefix] into the quarantine namespace. *)
+let quarantine (meta : Meta.t) ~prefix =
+  Meta.rename_prefix meta ~prefix ~target:quarantine_prefix
+
+(* ------------------------------------------------------------------ *)
+(* Artifact discovery and audit                                        *)
+(* ------------------------------------------------------------------ *)
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(** Every artifact present in [m]'s metadata (quarantined ones excluded:
+    they are already out of service). *)
+let artifacts (m : Irmod.t) : kind list =
+  let meta = m.Irmod.meta in
+  let pdg_fns = Hashtbl.create 8 in
+  let prof = ref false and arch = ref false in
+  Meta.iter_sorted
+    (fun k _ ->
+      if starts_with ~prefix:quarantine_prefix k then ()
+      else if starts_with ~prefix:"pdg." k then (
+        (* pdg.<fn>.<suffix>: the function name is everything between the
+           first and the last dot *)
+        match String.rindex_opt k '.' with
+        | Some last when last > 3 ->
+          let fn = String.sub k 4 (last - 4) in
+          if fn <> "" then Hashtbl.replace pdg_fns fn ()
+        | _ -> ())
+      else if starts_with ~prefix:"prof." k then prof := true
+      else if starts_with ~prefix:"arch." k then arch := true)
+    meta;
+  let fns = Hashtbl.fold (fun fn () acc -> fn :: acc) pdg_fns [] in
+  List.map (fun fn -> Pdg_artifact fn) (List.sort String.compare fns)
+  @ (if !prof then [ Prof_artifact ] else [])
+  @ if !arch then [ Arch_artifact ] else []
+
+(** The fingerprint a fresh stamp for this artifact would carry today.
+    [Error] when the subject no longer exists (a PDG for a function that
+    was removed, or is now only a declaration): necessarily stale. *)
+let expected_fp (m : Irmod.t) (k : kind) : (string, string) result =
+  match k with
+  | Pdg_artifact fn -> (
+    match Irmod.func_opt m fn with
+    | Some f when not f.Func.is_declaration -> Ok (Fingerprint.func_fp f)
+    | Some _ -> Error "function is now a declaration"
+    | None -> Error "function no longer exists")
+  | Prof_artifact -> Ok (Fingerprint.module_fp m)
+  | Arch_artifact -> Ok arch_fp
+
+(** Verify one artifact against the current IR. *)
+let verify_artifact (m : Irmod.t) (k : kind) : verdict =
+  let prefix = prefix_of_kind k in
+  match expected_fp m k with
+  | Ok fp -> verify m.Irmod.meta ~prefix ~fp
+  | Error why -> (
+    (* subject gone: even a well-formed stamp cannot match any code *)
+    match Meta.get m.Irmod.meta (stamp_key prefix) with
+    | None -> Unstamped
+    | Some _ -> Stale why)
+
+(** Verify every artifact in [m]; one event per artifact. *)
+let audit (m : Irmod.t) : event list =
+  List.map
+    (fun k ->
+      { akind = k; aprefix = prefix_of_kind k; averdict = verify_artifact m k })
+    (artifacts m)
+
+(** The subset of [events] a verification gate fails on. *)
+let failures (events : event list) : event list =
+  List.filter
+    (fun e -> match e.averdict with Trusted _ -> false | _ -> true)
+    events
+
+(** Quarantine every artifact of the given kinds whose verdict is stale
+    or corrupt; returns the events for what was quarantined.  [kinds]
+    filters before verification (fingerprinting is not free). *)
+let reconcile ?(kinds = fun (_ : kind) -> true) (m : Irmod.t) : event list =
+  let out = ref [] in
+  List.iter
+    (fun k ->
+      if kinds k then
+        match verify_artifact m k with
+        | Trusted _ | Unstamped -> ()
+        | (Stale _ | Corrupt _) as v ->
+          let prefix = prefix_of_kind k in
+          quarantine m.Irmod.meta ~prefix;
+          out := { akind = k; aprefix = prefix; averdict = v } :: !out)
+    (artifacts m);
+  List.rev !out
+
+(** Function names whose PDG artifacts sit in quarantine (so a pipeline
+    can re-embed fresh ones at commit). *)
+let quarantined_pdg_functions (m : Irmod.t) : string list =
+  let fns = Hashtbl.create 8 in
+  let qp = quarantine_prefix ^ "pdg." in
+  Meta.iter_sorted
+    (fun k _ ->
+      if starts_with ~prefix:qp k then
+        match String.rindex_opt k '.' with
+        | Some last when last > String.length qp ->
+          let fn = String.sub k (String.length qp) (last - String.length qp) in
+          if fn <> "" then Hashtbl.replace fns fn ()
+        | _ -> ())
+    m.Irmod.meta;
+  Hashtbl.fold (fun fn () acc -> fn :: acc) fns [] |> List.sort String.compare
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Stable check id for a verdict (noelle-check namespace). *)
+let check_id = function
+  | Trusted _ -> "meta.ok"
+  | Unstamped -> "meta.unstamped"
+  | Stale _ -> "meta.stale"
+  | Corrupt _ -> "meta.corrupt"
+
+(** Should this event fail a gate as an error (vs warn)?  The PDG is
+    load-bearing — consuming a stale one miscompiles — so any non-trusted
+    PDG artifact is an error.  Profiles and architecture descriptions are
+    advisory (they steer heuristics, not correctness): staleness is a
+    warning; corruption is still an error. *)
+let is_error (e : event) =
+  match (e.akind, e.averdict) with
+  | _, Trusted _ -> false
+  | Pdg_artifact _, _ -> true
+  | (Prof_artifact | Arch_artifact), Corrupt _ -> true
+  | (Prof_artifact | Arch_artifact), (Stale _ | Unstamped) -> false
+
+let verdict_to_string = function
+  | Trusted s -> Printf.sprintf "trusted (tool=%s)" s.tool
+  | Unstamped -> "unstamped"
+  | Stale was -> Printf.sprintf "stale (stamped for %s)" was
+  | Corrupt why -> Printf.sprintf "corrupt: %s" why
+
+let event_to_string (e : event) =
+  Printf.sprintf "%s %s: %s" (check_id e.averdict) (kind_to_string e.akind)
+    (verdict_to_string e.averdict)

@@ -18,6 +18,10 @@ type kind =
   | Mid_terminator    (** a [ret] spliced into the middle of a block *)
   | Uninit_load       (** a load from a fresh, never-stored alloca *)
   | Wild_store        (** a store through a freed or out-of-bounds pointer *)
+  | Stale_stamp       (** an artifact stamp's fingerprint garbled *)
+  | Drop_meta_edge    (** one embedded PDG edge key deleted *)
+  | Flip_meta_edge    (** one embedded PDG edge retargeted to a ghost id *)
+  | Garble_prof       (** one embedded profile count multiplied away *)
 
 let kind_to_string = function
   | Drop_store -> "drop-store"
@@ -28,11 +32,16 @@ let kind_to_string = function
   | Mid_terminator -> "mid-terminator"
   | Uninit_load -> "uninit-load"
   | Wild_store -> "wild-store"
+  | Stale_stamp -> "stale-stamp"
+  | Drop_meta_edge -> "drop-meta-edge"
+  | Flip_meta_edge -> "flip-meta-edge"
+  | Garble_prof -> "garble-prof"
 
 (** Is the fault class one the verifier alone must catch? *)
 let structural = function
   | Corrupt_phi_edge | Undef_operand | Mid_terminator -> true
-  | Drop_store | Swap_operands | Corrupt_phi_value | Uninit_load | Wild_store ->
+  | Drop_store | Swap_operands | Corrupt_phi_value | Uninit_load | Wild_store
+  | Stale_stamp | Drop_meta_edge | Flip_meta_edge | Garble_prof ->
     false
 
 (** The fault classes a broken transformation produces; the default draw of
@@ -46,6 +55,16 @@ let transform_kinds =
     behaviour only a memory-state oracle (static checker or instrumented
     interpreter) can distinguish from a healthy module. *)
 let sanitizer_kinds = [ Uninit_load; Wild_store ]
+
+(** Corruptions of {e embedded analysis metadata} rather than code: the
+    program's behaviour is untouched, so neither the verifier nor a
+    differential run can see them — only the metadata trust layer
+    (stamp verification) can.  They model an embedder racing a
+    transformation (stale stamp), truncated metadata (dropped edge), and
+    bit rot (flipped edge endpoint, garbled counts). *)
+let metadata_kinds = [ Stale_stamp; Drop_meta_edge; Flip_meta_edge; Garble_prof ]
+
+let is_meta_kind k = List.mem k metadata_kinds
 
 (* deterministic 64-bit LCG (MMIX constants) *)
 type rng = { mutable s : int64 }
@@ -61,6 +80,46 @@ let entry_function (m : Irmod.t) : Func.t option =
   match Irmod.func_opt m "main" with
   | Some f when not f.Func.is_declaration -> Some f
   | _ -> (match Irmod.defined_functions m with f :: _ -> Some f | [] -> None)
+
+(* candidate metadata keys for the metadata fault classes, in sorted
+   order (Meta.keys_with_prefix) so injection stays a pure function of
+   the seed *)
+let meta_sites_of (m : Irmod.t) (k : kind) : string list =
+  let meta = m.Irmod.meta in
+  let under p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let ends_with suf s =
+    let n = String.length s and ns = String.length suf in
+    n >= ns && String.sub s (n - ns) ns = suf
+  in
+  let int_last_segment s =
+    match String.rindex_opt s '.' with
+    | Some i ->
+      int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) <> None
+    | None -> false
+  in
+  let keys = Meta.keys_with_prefix meta "" in
+  match k with
+  | Stale_stamp ->
+    List.filter
+      (fun s ->
+        (under "pdg." s || under "prof." s || under "arch." s)
+        && ends_with ".stamp" s)
+      keys
+  | Drop_meta_edge | Flip_meta_edge ->
+    List.filter (fun s -> under "pdg." s && int_last_segment s) keys
+  | Garble_prof ->
+    List.filter
+      (fun s ->
+        under "prof." s
+        && (not (ends_with ".stamp" s))
+        && s <> "prof.stamp"
+        && (match Meta.get meta s with
+           | Some v -> Int64.of_string_opt v <> None
+           | None -> false))
+      keys
+  | _ -> []
 
 (* candidate sites, enumerated in deterministic layout order *)
 let sites_of (m : Irmod.t) (k : kind) : (Func.t * Instr.inst) list =
@@ -110,6 +169,9 @@ type info = {
   ikind : kind;
   ifunc : string;
   iinst : int;
+  imeta : string option;
+      (** for metadata faults: the corrupted artifact's key prefix
+          (["pdg.<fn>."], ["prof."], ["arch."]); [None] for code faults *)
 }
 
 let declare_alloc_builtins (m : Irmod.t) =
@@ -204,6 +266,57 @@ let apply_info (r : rng) (m : Irmod.t) (k : kind) (f : Func.t) (i : Instr.inst) 
     ikind = k;
     ifunc = f.Func.fname;
     iinst = target.Instr.id;
+    imeta = None;
+  }
+
+(* mutate one metadata key per the fault class; the artifact prefix in
+   [imeta] is what a detector must point at *)
+let apply_meta_info (r : rng) (m : Irmod.t) (k : kind) (key : string) : info =
+  let meta = m.Irmod.meta in
+  let under p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let artifact =
+    match k with
+    | Garble_prof -> "prof."
+    | _ ->
+      (* the key's last segment (stamp index / edge index) is not part of
+         the artifact prefix *)
+      String.sub key 0 (String.rindex key '.' + 1)
+  in
+  let ifunc =
+    if under "pdg." artifact then String.sub artifact 4 (String.length artifact - 5)
+    else "<module>"
+  in
+  (match (k, Meta.get meta key) with
+  | Drop_meta_edge, _ -> Meta.remove meta key
+  | Stale_stamp, Some line ->
+    (* garble the fp= field: the stamp still parses, but vouches for
+       code that never existed *)
+    let fields =
+      List.map
+        (fun kv -> if under "fp=" kv then "fp=deadbeefdeadbeef" else kv)
+        (String.split_on_char ' ' line)
+    in
+    Meta.set meta key (String.concat " " fields)
+  | Flip_meta_edge, Some line -> (
+    match String.split_on_char ' ' line with
+    | [ s; _; kind; must ] ->
+      let ghost = 999983 + next r 17 in
+      Meta.set meta key (Printf.sprintf "%s %d %s %s" s ghost kind must)
+    | _ -> Meta.remove meta key)
+  | Garble_prof, Some v -> (
+    match Int64.of_string_opt v with
+    | Some n ->
+      Meta.set meta key (Int64.to_string (Int64.add (Int64.mul n 1000L) 7L))
+    | None -> ())
+  | _ -> ());
+  {
+    idesc = Printf.sprintf "%s at %s" (kind_to_string k) key;
+    ikind = k;
+    ifunc;
+    iinst = -1;
+    imeta = Some artifact;
   }
 
 (** Inject one seeded fault into [m] and describe it.  Returns [None] when
@@ -221,11 +334,18 @@ let inject_info ?kinds ~seed (m : Irmod.t) : info option =
     if tries >= nk then None
     else
       let k = List.nth all ((start + tries) mod nk) in
-      match sites_of m k with
-      | [] -> go (tries + 1)
-      | sites ->
-        let f, i = List.nth sites (next r (List.length sites)) in
-        Some (apply_info r m k f i)
+      if is_meta_kind k then
+        match meta_sites_of m k with
+        | [] -> go (tries + 1)
+        | sites ->
+          let key = List.nth sites (next r (List.length sites)) in
+          Some (apply_meta_info r m k key)
+      else
+        match sites_of m k with
+        | [] -> go (tries + 1)
+        | sites ->
+          let f, i = List.nth sites (next r (List.length sites)) in
+          Some (apply_info r m k f i)
   in
   go 0
 

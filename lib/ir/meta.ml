@@ -19,21 +19,38 @@ let set_float (t : t) k v = set t k (Printf.sprintf "%.17g" v)
 let remove (t : t) k = Hashtbl.remove t k
 let mem (t : t) k = Hashtbl.mem t k
 
+let has_prefix ~prefix k =
+  String.length k >= String.length prefix
+  && String.sub k 0 (String.length prefix) = prefix
+
 (** All keys with the given prefix, sorted for determinism. *)
 let keys_with_prefix (t : t) prefix =
-  Hashtbl.fold
-    (fun k _ acc ->
-      if String.length k >= String.length prefix
-         && String.sub k 0 (String.length prefix) = prefix
-      then k :: acc
-      else acc)
-    t []
+  Hashtbl.fold (fun k _ acc -> if has_prefix ~prefix k then k :: acc else acc) t []
   |> List.sort String.compare
+
+(** Fold over key/value pairs with the given prefix, in hash-table order
+    (unspecified) — for order-independent consumers that must not pay
+    the sort of {!keys_with_prefix} on large payloads. *)
+let fold_prefix (t : t) prefix fn acc =
+  Hashtbl.fold (fun k v acc -> if has_prefix ~prefix k then fn k v acc else acc) t acc
 
 (** Remove every key with the given prefix (e.g. "prof." for
     noelle-meta-clean). *)
 let clear_prefix (t : t) prefix =
   List.iter (Hashtbl.remove t) (keys_with_prefix t prefix)
+
+(** Move every key with [prefix] under [target ^ prefix] (quarantine:
+    the payload is preserved for forensics but no longer discoverable
+    under its live namespace). *)
+let rename_prefix (t : t) ~prefix ~target =
+  List.iter
+    (fun k ->
+      match Hashtbl.find_opt t k with
+      | None -> ()
+      | Some v ->
+        Hashtbl.remove t k;
+        Hashtbl.replace t (target ^ k) v)
+    (keys_with_prefix t prefix)
 
 let iter_sorted fn (t : t) =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []

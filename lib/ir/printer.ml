@@ -37,6 +37,10 @@ let inst_str (f : Func.t) (i : inst) =
     | Some b -> b.Func.label
     | None -> Printf.sprintf "?%d" bid
   in
+  (* Every instruction carries its id, void results included: analysis
+     artifacts embedded as metadata (PDG edges, branch profiles) reference
+     instructions by id, so ids must survive print/parse round trips for
+     stores and terminators too, not only for value-producing ops. *)
   let res body = Printf.sprintf "%%%d = %s" i.id body in
   match i.op with
   | Bin (o, a, b) -> res (Printf.sprintf "%s %s, %s" (bin_to_string o) (v a) (v b))
@@ -46,14 +50,12 @@ let inst_str (f : Func.t) (i : inst) =
   | Cast (k, a) -> res (Printf.sprintf "%s %s" (cast_to_string k) (v a))
   | Alloca n -> res (Printf.sprintf "alloca %s" (v n))
   | Load p -> res (Printf.sprintf "load.%s %s" (ty_tag i.ty) (v p))
-  | Store (x, p) -> Printf.sprintf "store %s, %s" (v x) (v p)
+  | Store (x, p) -> res (Printf.sprintf "store %s, %s" (v x) (v p))
   | Gep (p, idx) -> res (Printf.sprintf "gep %s, %s" (v p) (v idx))
   | Call (callee, args) ->
-    let body =
-      Printf.sprintf "call.%s %s(%s)" (ty_tag i.ty) (v callee)
-        (String.concat ", " (List.map v args))
-    in
-    if Ty.equal i.ty Ty.Void then body else res body
+    res
+      (Printf.sprintf "call.%s %s(%s)" (ty_tag i.ty) (v callee)
+         (String.concat ", " (List.map v args)))
   | Phi incs ->
     res
       (Printf.sprintf "phi.%s %s" (ty_tag i.ty)
@@ -61,11 +63,11 @@ let inst_str (f : Func.t) (i : inst) =
             (List.map (fun (p, x) -> Printf.sprintf "[%s: %s]" (lbl p) (v x)) incs)))
   | Select (c, a, b) ->
     res (Printf.sprintf "select.%s %s, %s, %s" (ty_tag i.ty) (v c) (v a) (v b))
-  | Br b -> Printf.sprintf "br %s" (lbl b)
-  | Cbr (c, t, e) -> Printf.sprintf "cbr %s, %s, %s" (v c) (lbl t) (lbl e)
-  | Ret None -> "ret"
-  | Ret (Some x) -> Printf.sprintf "ret %s" (v x)
-  | Unreachable -> "unreachable"
+  | Br b -> res (Printf.sprintf "br %s" (lbl b))
+  | Cbr (c, t, e) -> res (Printf.sprintf "cbr %s, %s, %s" (v c) (lbl t) (lbl e))
+  | Ret None -> res "ret"
+  | Ret (Some x) -> res (Printf.sprintf "ret %s" (v x))
+  | Unreachable -> res "unreachable"
 
 let func_str (f : Func.t) =
   let buf = Buffer.create 1024 in

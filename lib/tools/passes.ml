@@ -72,13 +72,18 @@ let standard ?ncores ?min_hotness ?min_work ?check_races (n : Noelle.t) :
   ]
 
 (** Pipeline configuration for this stack: Psim-backed differential runs
-    and analysis-cache invalidation on every module change. *)
-let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) (n : Noelle.t) : Noelle.Pipeline.config =
+    and analysis-cache invalidation on every module change.  With
+    [verify_meta] set, every commit also reconciles embedded analysis
+    artifacts through the trust layer and the final module must audit
+    clean ([noelle-pipeline --verify-meta]). *)
+let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false) (n : Noelle.t) :
+    Noelle.Pipeline.config =
   {
     Noelle.Pipeline.default_config with
     Noelle.Pipeline.inputs;
     fuel;
     exec = psim_exec;
+    verify_meta_gate = verify_meta;
     on_change = (fun () -> Noelle.invalidate n);
   }
 
@@ -87,9 +92,23 @@ let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) (n : Noelle.t) : Noelle.Pipeli
     report; [m] holds the surviving (verified, behaviour-preserving)
     module. *)
 let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
-    ?check_races ?analysis_budget (m : Irmod.t) =
+    ?check_races ?analysis_budget ?(verify_meta = false) (m : Irmod.t) =
   let n = Noelle.create ?analysis_budget m in
-  Noelle.Pipeline.run
-    ~config:(config ?inputs ?fuel n)
-    ?inject:inject_seed m
-    (standard ?ncores ?min_hotness ?min_work ?check_races n)
+  let report =
+    Noelle.Pipeline.run
+      ~config:(config ?inputs ?fuel ~verify_meta n)
+      ?inject:inject_seed m
+      (standard ?ncores ?min_hotness ?min_work ?check_races n)
+  in
+  (* close the quarantine-and-recompute loop: artifacts the transaction
+     commits invalidated get re-embedded fresh, so the module leaves the
+     pipeline carrying trusted analysis again *)
+  if verify_meta then
+    List.iter
+      (fun fn ->
+        match Irmod.func_opt m fn with
+        | Some f when not f.Func.is_declaration ->
+          Noelle.Pdg.embed ~tool:"noelle-pipeline" (Noelle.pdg n f)
+        | _ -> ())
+      (Noelle.Trust.quarantined_pdg_functions m);
+  report
