@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta
+.PHONY: check build test faultcheck lint verify-meta trace bench-json
 
 build:
 	dune build
@@ -27,4 +27,14 @@ lint: build
 verify-meta: build
 	dune exec bin/noelle_meta_verify.exe -- --kernels --roundtrip --limit 10
 
-check: build test faultcheck lint verify-meta
+# telemetry smoke: run the standard stack under tracing on a parallelizable
+# kernel; the trace must round-trip through the repo's own JSON parser and
+# carry spans from at least 3 layers (analyses, pipeline passes, psim tasks)
+trace: build
+	dune exec bin/noelle_trace.exe -- --kernel histogram --check -q
+
+# machine-readable benchmark rows (wall ms + counter deltas per kernel)
+bench-json: build
+	dune exec bench/main.exe -- --json figure3
+
+check: build test faultcheck lint verify-meta trace

@@ -6,6 +6,7 @@
       dune exec bench/main.exe                 # all sections
       dune exec bench/main.exe -- figure5      # one section
       dune exec bench/main.exe -- --emit-test-script  # write run_all_tests.sh
+      dune exec bench/main.exe -- --json figure3      # + BENCH_figure3.json
     Sections: table1 table2 table3 table4 figure3 figure4 iv figure5 spec
     dead bechamel *)
 
@@ -13,6 +14,56 @@ let ncores = 12
 let arch = Noelle.Arch.measure ~physical_cores:ncores ()
 
 let banner title = Printf.printf "\n== %s ==\n" title
+
+(* ------------------------------------------------------------------ *)
+(* --json: machine-readable benchmark rows                              *)
+(* ------------------------------------------------------------------ *)
+
+(** With [--json], instrumented sections also write BENCH_<section>.json:
+    one row per benchmark with wall-clock ms and the telemetry-counter
+    deltas (PDG queries, Andersen constraints, psim cycles, ...) its run
+    produced. *)
+let json_mode = ref false
+
+let json_rows : (string * float * (string * int64) list) list ref = ref []
+
+(** Run one benchmark body, recording a JSON row when [--json] is on. *)
+let bench_row name f =
+  if not !json_mode then f ()
+  else begin
+    let before = Ir.Trace.counters () in
+    let x, ms = Ir.Trace.time_ms f in
+    let deltas =
+      List.filter_map
+        (fun (k, v) ->
+          let v0 = Option.value ~default:0L (List.assoc_opt k before) in
+          if Int64.compare v v0 > 0 then Some (k, Int64.sub v v0) else None)
+        (Ir.Trace.counters ())
+    in
+    json_rows := (name, ms, deltas) :: !json_rows;
+    x
+  end
+
+let q s = "\"" ^ Ir.Trace.json_escape s ^ "\""
+
+let write_bench_json section =
+  if !json_mode then begin
+    let rows = List.rev !json_rows in
+    json_rows := [];
+    if rows <> [] then begin
+      let file = Printf.sprintf "BENCH_%s.json" section in
+      let row (name, ms, counters) =
+        Printf.sprintf "{\"name\":%s,\"wall_ms\":%.3f,\"counters\":{%s}}" (q name) ms
+          (String.concat ","
+             (List.map (fun (k, v) -> Printf.sprintf "%s:%Ld" (q k) v) counters))
+      in
+      let oc = open_out file in
+      Printf.fprintf oc "{\"section\":%s,\"benchmarks\":[%s]}\n" (q section)
+        (String.concat "," (List.map row rows));
+      close_out oc;
+      Printf.printf "  wrote %s (%d rows)\n" file (List.length rows)
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* LoC counting (tables 1-3)                                           *)
@@ -221,6 +272,7 @@ let figure3 () =
   let bsum = ref 0.0 and nsum = ref 0.0 and cnt = ref 0 in
   List.iter
     (fun (k : Bsuite.Kernels.kernel) ->
+      bench_row k.Bsuite.Kernels.kname @@ fun () ->
       let m = Bsuite.Kernels.compile k in
       let rate stack =
         let tot = ref 0 and dis = ref 0 in
@@ -251,6 +303,7 @@ let figure4 () =
   let t1 = ref 0 and t2 = ref 0 in
   List.iter
     (fun (k : Bsuite.Kernels.kernel) ->
+      bench_row k.Bsuite.Kernels.kname @@ fun () ->
       let m = Bsuite.Kernels.compile k in
       let n = Noelle.create m in
       let c1 = ref 0 and c2 = ref 0 in
@@ -371,6 +424,7 @@ let dead_experiment () =
   let reductions = ref [] in
   List.iter
     (fun (k : Bsuite.Kernels.kernel) ->
+      bench_row k.Bsuite.Kernels.kname @@ fun () ->
       let m = Bsuite.Kernels.compile k in
       let lib = Minic.Lower.compile ~name:"libmini" libmini in
       let whole = Ir.Linker.link ~name:k.Bsuite.Kernels.kname [ m; lib ] in
@@ -646,8 +700,16 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--emit-test-script" args then emit_test_script ()
   else begin
+    if List.mem "--json" args then begin
+      json_mode := true;
+      Ir.Trace.enable ()
+    end;
     let chosen = List.filter (fun a -> List.mem_assoc a sections) args in
     let todo = if chosen = [] then List.map fst sections else chosen in
-    List.iter (fun name -> (List.assoc name sections) ()) todo;
+    List.iter
+      (fun name ->
+        (List.assoc name sections) ();
+        write_bench_json name)
+      todo;
     print_newline ()
   end

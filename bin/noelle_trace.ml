@@ -1,0 +1,110 @@
+(** noelle-trace — run the standard custom-tool stack under the telemetry
+    spine and export what happened: a Chrome trace-event JSON (load it in
+    Perfetto / chrome://tracing) with one span per analysis, pass, checker,
+    and simulated task, plus a flat metrics dump from the process-wide
+    registry.  [--compare] diffs two metrics dumps from earlier runs. *)
+
+open Cmdliner
+
+let load input fuzz_seed kernel =
+  match (input, kernel, fuzz_seed) with
+  | Some f, _, _ -> Ir.Parser.parse_file f
+  | None, Some name, _ -> (
+    match Bsuite.Kernels.find name with
+    | Some k -> Bsuite.Kernels.compile k
+    | None ->
+      Printf.eprintf "noelle-trace: unknown kernel %S (try: %s)\n" name
+        (String.concat ", "
+           (List.map (fun k -> k.Bsuite.Kernels.kname) Bsuite.Kernels.all));
+      exit 2)
+  | None, None, Some seed ->
+    Minic.Lower.compile ~name:(Printf.sprintf "fuzz%d" seed)
+      (Bsuite.Generator.program seed)
+  | None, None, None ->
+    prerr_endline "noelle-trace: need FILE.ir, --kernel NAME or --fuzz-seed N";
+    exit 2
+
+let compare_cmd a b =
+  let report, differing = Noelle.Telemetry.compare_files a b in
+  print_string report;
+  if differing = 0 then print_endline "no metric changed";
+  0
+
+let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
+  let m = load input fuzz_seed kernel in
+  let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
+  Noelle.Telemetry.install ();
+  let report = Ntools.Passes.run_standard ~inputs ~fuel m in
+  if not quiet then print_string (Noelle.Pipeline.report_to_string report);
+  Noelle.Telemetry.save_trace out;
+  Noelle.Telemetry.save_metrics metrics_out;
+  (* round-trip the file we just wrote through the repo's own JSON parser
+     and summarize which layers produced spans *)
+  let contents =
+    let ic = open_in_bin out in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic; s
+  in
+  let triples = Noelle.Telemetry.validate_chrome_json contents in
+  let layers = Noelle.Telemetry.layers_of triples in
+  Printf.printf "wrote %s (%d events) and %s (%d metrics)\n" out (List.length triples)
+    metrics_out
+    (List.length (Noelle.Telemetry.metrics ()));
+  List.iter (fun (cat, n) -> Printf.printf "  layer %-10s %d spans\n" cat n) layers;
+  Noelle.Telemetry.uninstall ();
+  if check && List.length layers < 3 then begin
+    Printf.eprintf
+      "noelle-trace: expected spans from at least 3 layers, got %d (%s)\n"
+      (List.length layers)
+      (String.concat ", " (List.map fst layers));
+    1
+  end
+  else if check && not report.Noelle.Pipeline.final_ok then 1
+  else 0
+
+let run input pos1 fuzz_seed kernel inputs fuel out metrics_out compare check quiet =
+  if compare then
+    match (input, pos1) with
+    | Some a, Some b -> compare_cmd a b
+    | _ ->
+      prerr_endline "noelle-trace: --compare needs two metrics files: A.json B.json";
+      2
+  else trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet
+
+let input = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.ir")
+let pos1 = Arg.(value & pos 1 (some string) None & info [] ~docv:"B.json")
+let fuzz_seed =
+  Arg.(value & opt (some int) None & info [ "fuzz-seed" ] ~docv:"N"
+         ~doc:"generate the input program from fuzzer seed $(docv)")
+let kernel =
+  Arg.(value & opt (some string) None & info [ "kernel" ] ~docv:"NAME"
+         ~doc:"trace a named benchmark kernel (e.g. histogram, blackscholes)")
+let inputs =
+  Arg.(value & opt_all int [] & info [ "input"; "i" ] ~docv:"N"
+         ~doc:"argument for a differential run (repeatable)")
+let fuel =
+  Arg.(value & opt int 3_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"interpreter fuel per differential run")
+let out =
+  Arg.(value & opt string "trace.json" & info [ "o"; "trace" ] ~docv:"OUT.json"
+         ~doc:"where to write the Chrome trace-event JSON")
+let metrics_out =
+  Arg.(value & opt string "trace_metrics.json" & info [ "metrics" ] ~docv:"OUT.json"
+         ~doc:"where to write the metrics-registry dump")
+let compare =
+  Arg.(value & flag & info [ "compare" ]
+         ~doc:"diff two metrics dumps given as the positional arguments")
+let check =
+  Arg.(value & flag & info [ "check" ]
+         ~doc:"fail unless spans from at least 3 layers are present and the \
+               pipeline survived its gates (CI smoke mode)")
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress the pipeline report")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-trace"
+       ~doc:"Run the standard pass stack under tracing; export Chrome trace + metrics")
+    Term.(const run $ input $ pos1 $ fuzz_seed $ kernel $ inputs $ fuel $ out
+          $ metrics_out $ compare $ check $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -642,9 +642,13 @@ let run ?checks (m : Irmod.t) : report =
   List.iter
     (fun c ->
       ctx.citers <- 0;
-      let t0 = Sys.time () in
-      let ds = c.crun ctx in
-      let ms = (Sys.time () -. t0) *. 1000. in
+      (* one timing mechanism: the telemetry clock measures the checker and
+         (when tracing is installed) records the interval as a span *)
+      let ds, ms =
+        Trace.timed_span ~cat:"check" ("check:" ^ c.cid) (fun () -> c.crun ctx)
+      in
+      Trace.add (Printf.sprintf "check.%s.diags" c.cid) (List.length ds);
+      Trace.add (Printf.sprintf "check.%s.dfe_iters" c.cid) ctx.citers;
       let ds =
         List.map
           (fun d ->

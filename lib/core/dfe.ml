@@ -101,6 +101,11 @@ let solve (f : Func.t) (p : problem) : result =
           (try Hashtbl.find preds b with Not_found -> [])
       end
   done;
+  (* solver-loop telemetry: total block transfers to fixpoint, plus the
+     per-solve distribution (log-scale buckets) *)
+  Trace.incr_m "dfe.solves";
+  Trace.add "dfe.iterations" !iterations;
+  Trace.observe "dfe.iterations.hist" (Int64.of_int !iterations);
   { in_; out; iterations = !iterations }
 
 (* ------------------------------------------------------------------ *)

@@ -37,6 +37,7 @@ module Arch = Arch
 module Profiler = Profiler
 module Pipeline = Pipeline
 module Trust = Trust
+module Telemetry = Telemetry
 
 open Ir
 
@@ -96,6 +97,18 @@ let degraded (t : t) =
 
 let record (t : t) abstraction = Hashtbl.replace t.usage (t.tool, abstraction) ()
 
+(* telemetry: every demand-driven request is counted, and every cache
+   decision is attributed (hit / miss / verified fast reload); the compute
+   path of a miss runs inside a span so the Chrome trace shows where the
+   abstraction layer's time goes *)
+let hit abstraction =
+  Trace.incr_m "noelle.cache.hit";
+  Trace.incr_m (Printf.sprintf "noelle.%s.hit" abstraction)
+
+let miss abstraction =
+  Trace.incr_m "noelle.cache.miss";
+  Trace.incr_m (Printf.sprintf "noelle.%s.miss" abstraction)
+
 (** All (tool, abstraction) pairs observed so far, sorted. *)
 let usage_pairs (t : t) =
   Hashtbl.fold (fun k () acc -> k :: acc) t.usage []
@@ -135,9 +148,15 @@ let invalidate (t : t) =
 
 let andersen (t : t) =
   match t.andersen with
-  | Some a -> a
+  | Some a ->
+    hit "andersen";
+    a
   | None ->
-    let a = Andersen.analyze ?budget:t.analysis_budget t.m in
+    miss "andersen";
+    let a =
+      Trace.span ~cat:"analysis" "noelle.andersen" (fun () ->
+          Andersen.analyze ?budget:t.analysis_budget t.m)
+    in
     t.andersen <- Some a;
     a
 
@@ -153,13 +172,23 @@ let alias_stack (t : t) : Alias.stack =
     [Degrade] mode, {!Trust.Tainted} in [Strict]). *)
 let pdg (t : t) (f : Func.t) : Pdg.t =
   record t "PDG";
+  Trace.incr_m "noelle.pdg.queries";
   match Hashtbl.find_opt t.pdgs f.Func.fname with
-  | Some p -> p
+  | Some p ->
+    hit "pdg";
+    p
   | None ->
+    miss "pdg";
+    let sp = Trace.begin_span ~cat:"analysis" ("noelle.pdg:" ^ f.Func.fname) in
     let kind = Trust.Pdg_artifact f.Func.fname in
     let prefix = Trust.prefix_of_kind kind in
-    let build () = Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) t.m f in
+    let build () =
+      Trace.tag sp "source" "computed";
+      Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) t.m f
+    in
     let p =
+      (* [distrust] may raise in Strict mode: close the span either way *)
+      Fun.protect ~finally:(fun () -> Trace.end_span sp) @@ fun () ->
       if not (Trust.has_artifact t.m.Irmod.meta ~prefix) then build ()
       else
         match Trust.verify_artifact t.m kind with
@@ -167,6 +196,8 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
           match Pdg.of_embedded t.m f with
           | Some p ->
             t.fast_reloads <- t.fast_reloads + 1;
+            Trace.incr_m "noelle.cache.fast_reload";
+            Trace.tag sp "source" "verified-reload";
             p
           | None ->
             (* checksum verified but the payload would not decode (ghost
@@ -188,9 +219,15 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
 (** Raw natural-loop information of [f] (cached). *)
 let loopnest (t : t) (f : Func.t) : Loopnest.t =
   match Hashtbl.find_opt t.nests f.Func.fname with
-  | Some n -> n
+  | Some n ->
+    hit "loopnest";
+    n
   | None ->
-    let n = Loopnest.compute f in
+    miss "loopnest";
+    let n =
+      Trace.span ~cat:"analysis" ("noelle.loopnest:" ^ f.Func.fname) (fun () ->
+          Loopnest.compute f)
+    in
     Hashtbl.replace t.nests f.Func.fname n;
     n
 
@@ -214,9 +251,15 @@ let loop_forest (t : t) (f : Func.t) =
 let callgraph (t : t) : Callgraph.t =
   record t "CG";
   match t.cg with
-  | Some cg -> cg
+  | Some cg ->
+    hit "callgraph";
+    cg
   | None ->
-    let cg = Callgraph.build ~pts:(andersen t) t.m in
+    miss "callgraph";
+    let cg =
+      Trace.span ~cat:"analysis" "noelle.callgraph" (fun () ->
+          Callgraph.build ~pts:(andersen t) t.m)
+    in
     t.cg <- Some cg;
     cg
 
@@ -225,10 +268,14 @@ let callgraph (t : t) : Callgraph.t =
 let arch (t : t) : Arch.t =
   record t "AR";
   match t.arch_ with
-  | Some a -> a
+  | Some a ->
+    hit "arch";
+    a
   | None ->
+    miss "arch";
     let meta = t.m.Irmod.meta in
     let a =
+      Trace.span ~cat:"analysis" "noelle.arch" @@ fun () ->
       if not (Trust.has_artifact meta ~prefix:"arch.") then Arch.measure ()
       else
         match Trust.verify_artifact t.m Trust.Arch_artifact with
@@ -236,6 +283,7 @@ let arch (t : t) : Arch.t =
           match Arch.of_meta meta with
           | Some a ->
             t.fast_reloads <- t.fast_reloads + 1;
+            Trace.incr_m "noelle.cache.fast_reload";
             a
           | None ->
             distrust t

@@ -149,11 +149,35 @@ let compare_behaviours (c : config) reference candidate =
     before the gates run.  The reference behaviour for every differential
     check is the pristine input module, so the final module is guaranteed
     behaviourally equal to the original on the configured inputs. *)
+(* span tags for one transaction: the outcome plus what each gate said,
+   recovered from the entry (gate attributions live in the outcome text) *)
+let starts_with pre s =
+  String.length s >= String.length pre && String.sub s 0 (String.length pre) = pre
+
+let gate_tags (c : config) (e : entry) =
+  let outcome, verify, differential =
+    match e.eoutcome with
+    | Committed _ ->
+      ( "committed",
+        (if c.verify_gate then "ok" else "off"),
+        if c.differential_gate then "ok" else "off" )
+    | Timed_out _ -> ("timed-out", "ok", "timeout")
+    | Rolled_back r ->
+      if starts_with "pass raised" r then ("rolled-back", "skipped", "skipped")
+      else if starts_with "verifier:" r then ("rolled-back", "fail", "skipped")
+      else ("rolled-back", "ok", "mismatch")
+  in
+  [ ("outcome", outcome); ("verify", verify); ("differential", differential) ]
+  @ (match e.einjected with Some d -> [ ("injected", d) ] | None -> [])
+
 let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : report =
   let reference =
-    if config.differential_gate then behaviours config m else []
+    if config.differential_gate then
+      Trace.span ~cat:"pipeline" "pipeline.reference" (fun () -> behaviours config m)
+    else []
   in
   let run_pass idx (p : pass) : entry =
+    let sp = Trace.begin_span ~cat:"pipeline" ("pass:" ^ p.pname) in
     let snap = Snapshot.capture m in
     let applied = try Ok (p.papply m) with e -> Error (Printexc.to_string e) in
     config.on_change ();
@@ -184,18 +208,26 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
         emeta;
       }
     in
-    match applied with
-    | Error exn -> rollback (Rolled_back ("pass raised: " ^ exn))
-    | Ok summary -> (
-      match (if config.verify_gate then Verify.check m else Ok ()) with
-      | Error msg -> rollback (Rolled_back ("verifier: " ^ msg))
-      | Ok () ->
-        if not config.differential_gate then commit summary
-        else (
-          match compare_behaviours config reference (behaviours config m) with
-          | `Equal -> commit summary
-          | `Timed_out msg -> rollback (Timed_out msg)
-          | `Mismatch msg -> rollback (Rolled_back ("differential: " ^ msg))))
+    let entry =
+      match applied with
+      | Error exn -> rollback (Rolled_back ("pass raised: " ^ exn))
+      | Ok summary -> (
+        match (if config.verify_gate then Verify.check m else Ok ()) with
+        | Error msg -> rollback (Rolled_back ("verifier: " ^ msg))
+        | Ok () ->
+          if not config.differential_gate then commit summary
+          else (
+            match compare_behaviours config reference (behaviours config m) with
+            | `Equal -> commit summary
+            | `Timed_out msg -> rollback (Timed_out msg)
+            | `Mismatch msg -> rollback (Rolled_back ("differential: " ^ msg))))
+    in
+    (match entry.eoutcome with
+    | Committed _ -> Trace.incr_m "pipeline.committed"
+    | Rolled_back _ -> Trace.incr_m "pipeline.rolled_back"
+    | Timed_out _ -> Trace.incr_m "pipeline.timed_out");
+    Trace.end_span ~args:(gate_tags config entry) sp;
+    entry
   in
   let entries = List.mapi run_pass passes in
   let final_ok =

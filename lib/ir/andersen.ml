@@ -86,13 +86,30 @@ let conservative (m : Irmod.t) : t =
 exception Budget_exhausted
 
 let analyze ?budget (m : Irmod.t) : t =
+  let sp = Trace.begin_span ~cat:"analysis" "andersen.analyze" in
+  let constraints = ref 0 in
+  let rounds = ref 0 in
   let steps = ref 0 in
   let tick () =
+    (* every constraint-graph mutation attempt is one solver step *)
+    incr constraints;
     match budget with
     | Some b ->
       incr steps;
       if !steps > b then raise Budget_exhausted
     | None -> ()
+  in
+  let finish r =
+    Trace.add "andersen.constraints" !constraints;
+    Trace.add "andersen.rounds" !rounds;
+    Trace.tag sp "constraints" (string_of_int !constraints);
+    Trace.tag sp "rounds" (string_of_int !rounds);
+    if r.degraded then begin
+      Trace.incr_m "andersen.degraded";
+      Trace.tag sp "degraded" "true"
+    end;
+    Trace.end_span sp;
+    r
   in
   try
   let pts : ObjSet.t VarMap.t = VarMap.create 256 in
@@ -199,6 +216,7 @@ let analyze ?budget (m : Irmod.t) : t =
   (* fixpoint *)
   while !changed do
     changed := false;
+    incr rounds;
     Hashtbl.iter (fun (src, dst) () -> add dst (get src)) copies;
     List.iter (fun (pv, dst) -> ObjSet.iter (fun o -> add_copy (Vmem o) dst) (get pv)) !loads;
     List.iter
@@ -305,8 +323,8 @@ let analyze ?budget (m : Irmod.t) : t =
       callees_of
   done;
   Hashtbl.iter (fun k v -> Hashtbl.replace r.touched k v) summary;
-  r
-  with Budget_exhausted -> conservative m
+  finish r
+  with Budget_exhausted -> finish (conservative m)
 
 (* ------------------------------------------------------------------ *)
 (* Alias-stack plug-in                                                 *)

@@ -458,6 +458,8 @@ let run ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) =
   let st = create m in
   (match fuel with Some f -> st.fuel <- f | None -> ());
   let r = call st entry (List.map (fun n -> VI (Int64.of_int n)) args) in
+  Trace.incr_m "interp.runs";
+  Trace.add "interp.steps" st.steps;
   (r, Buffer.contents st.output)
 
 (** Like {!run} but returns the full state for inspection. *)
@@ -466,4 +468,6 @@ let run_state ?(entry = "main") ?(args = []) ?fuel ?(configure = fun (_ : state)
   (match fuel with Some f -> st.fuel <- f | None -> ());
   configure st;
   let r = call st entry (List.map (fun n -> VI (Int64.of_int n)) args) in
+  Trace.incr_m "interp.runs";
+  Trace.add "interp.steps" st.steps;
   (r, st)

@@ -28,7 +28,7 @@ let is_invariant_value (f : Func.t) (l : Loopnest.loop) (v : Instr.value) =
 
 (** Affine form of integer/pointer value [v] with respect to [iv_phi] (the
     id of a header phi of [l]).  [None] when not affine. *)
-let rec affine_of (f : Func.t) (l : Loopnest.loop) ~(iv_phi : int) (v : Instr.value) :
+let rec affine_of_rec (f : Func.t) (l : Loopnest.loop) ~(iv_phi : int) (v : Instr.value) :
     affine option =
   match v with
   | Instr.Cint c -> Some (const c)
@@ -39,7 +39,7 @@ let rec affine_of (f : Func.t) (l : Loopnest.loop) ~(iv_phi : int) (v : Instr.va
     match Func.inst_opt f r with
     | None -> None
     | Some i -> (
-      let recur = affine_of f l ~iv_phi in
+      let recur = affine_of_rec f l ~iv_phi in
       match i.Instr.op with
       | Instr.Bin (Instr.Add, a, b) -> (
         match (recur a, recur b) with
@@ -87,6 +87,12 @@ let rec affine_of (f : Func.t) (l : Loopnest.loop) ~(iv_phi : int) (v : Instr.va
         | _ -> None)
       | _ -> None))
   | _ -> None
+
+(* solver-loop telemetry: queries count top-level requests, not the
+   recursion inside one *)
+let affine_of f l ~iv_phi v =
+  Trace.incr_m "scev.queries";
+  affine_of_rec f l ~iv_phi v
 
 (** Can two addresses with affine forms [a1], [a2] (w.r.t. the same phi)
     refer to the same location *within one iteration*?  Returns [Some false]
@@ -337,6 +343,7 @@ let classify_pair ~(outer : int) ~(spans : (int * int64) list) (a : poly) (b : p
     a constant start and constant additive step. *)
 let phi_range (f : Func.t) (nest : Loopnest.t) (phi : Instr.inst) :
     (int64 * int64) option =
+  Trace.incr_m "scev.range_queries";
   match Loopnest.loop_of_header nest phi.Instr.parent with
   | None -> None
   | Some sl -> (

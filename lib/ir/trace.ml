@@ -1,0 +1,580 @@
+(** The telemetry spine's recording core (see DESIGN.md §10).
+
+    One process-wide, *off-by-default* event buffer and metrics registry
+    shared by every layer: the {!Noelle} manager's demand-driven entry
+    points, the transactional pipeline, the checkers, the Andersen / DFE /
+    SCEV solver loops and the Psim runtime all report through this module,
+    and {!Noelle.Telemetry} (the public facade) turns the buffer into a
+    Chrome trace-event JSON and the registry into a metrics dump.
+
+    Overhead contract: when tracing is disabled (the default) every entry
+    point is a single load-and-branch on {!on} — no allocation, no clock
+    read, no table lookup — so instrumented hot loops cost nothing in
+    ordinary runs, and [dune runtest] with [NOELLE_TRACE] unset leaves the
+    buffer and the registry empty.  Enabling is explicit
+    ({!enable} / [Telemetry.install]) or via the [NOELLE_TRACE]
+    environment variable, read once at program start.
+
+    Metric naming scheme: dot-separated [layer.object.verb] keys, e.g.
+    [noelle.pdg.queries], [noelle.cache.hit], [andersen.constraints],
+    [dfe.iterations], [psim.task.restarts].  Span categories name the
+    layer: ["analysis"], ["pipeline"], ["check"], ["psim"]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(** Wall-clock microseconds (absolute; event timestamps are relative to
+    {!enable}). *)
+let now_us () = Unix.gettimeofday () *. 1e6
+
+(** Run [f] and return (result, elapsed wall milliseconds).  Always
+    measures — this is the one timing mechanism shared by [--stats]-style
+    reporting and the trace buffer. *)
+let time_ms f =
+  let t0 = now_us () in
+  let r = f () in
+  (r, (now_us () -. t0) /. 1000.)
+
+(* ------------------------------------------------------------------ *)
+(* Global state                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let on = ref false
+
+(** Is the telemetry sink recording?  The one branch every instrumentation
+    site is guarded by. *)
+let enabled () = !on
+
+let t0 = ref 0.0
+
+type phase = Complete | Instant
+
+type event = {
+  ename : string;
+  ecat : string;
+  eph : phase;
+  ets : float;                       (** µs since {!enable} *)
+  edur : float;                      (** µs; 0 for instants *)
+  etid : int;                        (** virtual thread (0 = main, Psim tasks use 1+tid) *)
+  edepth : int;                      (** span-stack depth at open *)
+  eargs : (string * string) list;
+}
+
+(* newest first; reversed by {!events} *)
+let buf : event list ref = ref []
+let buf_len = ref 0
+
+(** Cap on buffered events; past it events are dropped (and counted in the
+    [trace.dropped] counter) rather than exhausting memory. *)
+let max_events = ref 1_000_000
+
+let cur_tid = ref 0
+let depth = ref 0
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type hist = {
+  mutable hcount : int;
+  mutable hsum : int64;
+  hbuckets : int array;  (** log2 buckets: index i counts values in [2^i, 2^(i+1)) *)
+}
+
+type metric =
+  | Counter of int64 ref   (** monotonic *)
+  | Gauge of float ref
+  | Histogram of hist
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let reset () =
+  buf := [];
+  buf_len := 0;
+  depth := 0;
+  cur_tid := 0;
+  Hashtbl.reset registry
+
+(** Start recording (resetting the buffer and registry unless
+    [keep] is set). *)
+let enable ?(keep = false) () =
+  if not keep then reset ();
+  t0 := now_us ();
+  on := true
+
+let disable () = on := false
+
+let record (e : event) =
+  if !buf_len < !max_events then begin
+    buf := e :: !buf;
+    incr buf_len
+  end
+  else begin
+    match Hashtbl.find_opt registry "trace.dropped" with
+    | Some (Counter r) -> r := Int64.add !r 1L
+    | _ -> Hashtbl.replace registry "trace.dropped" (Counter (ref 1L))
+  end
+
+(** Buffered events, chronological by close time. *)
+let events () = List.rev !buf
+
+let event_count () = !buf_len
+
+(* -- counters -- *)
+
+let counter_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter r) -> r
+  | Some _ -> invalid_arg (name ^ " is not a counter")
+  | None ->
+    let r = ref 0L in
+    Hashtbl.replace registry name (Counter r);
+    r
+
+(** Add [n] (>= 0) to monotonic counter [name]; no-op when disabled. *)
+let add name n =
+  if !on && n > 0 then begin
+    let r = counter_ref name in
+    r := Int64.add !r (Int64.of_int n)
+  end
+
+let incr_m name = add name 1
+
+(** Current value of counter [name] (0 when absent or not a counter). *)
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter r) -> !r
+  | _ -> 0L
+
+(* -- gauges -- *)
+
+let set_gauge name v =
+  if !on then
+    match Hashtbl.find_opt registry name with
+    | Some (Gauge r) -> r := v
+    | Some _ -> invalid_arg (name ^ " is not a gauge")
+    | None -> Hashtbl.replace registry name (Gauge (ref v))
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge r) -> Some !r
+  | _ -> None
+
+(* -- histograms -- *)
+
+let hist_ref name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg (name ^ " is not a histogram")
+  | None ->
+    let h = { hcount = 0; hsum = 0L; hbuckets = Array.make 63 0 } in
+    Hashtbl.replace registry name (Histogram h);
+    h
+
+let bucket_of (v : int64) =
+  if Int64.compare v 2L < 0 then 0
+  else begin
+    let rec go i x = if Int64.compare x 1L <= 0 then i else go (i + 1) (Int64.shift_right_logical x 1) in
+    min 62 (go 0 v)
+  end
+
+(** Record one observation of [v] (clamped at 0) into log-scale histogram
+    [name]; no-op when disabled. *)
+let observe name v =
+  if !on then begin
+    let v = if Int64.compare v 0L < 0 then 0L else v in
+    let h = hist_ref name in
+    h.hcount <- h.hcount + 1;
+    h.hsum <- Int64.add h.hsum v;
+    let b = bucket_of v in
+    h.hbuckets.(b) <- h.hbuckets.(b) + 1
+  end
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> Some h
+  | _ -> None
+
+(** All registered metrics, sorted by name. *)
+let metrics () =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(** Counter metrics only, sorted — the snapshot bench rows diff. *)
+let counters () =
+  List.filter_map
+    (fun (k, m) -> match m with Counter r -> Some (k, !r) | _ -> None)
+    (metrics ())
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sname : string;
+  scat : string;
+  stid : int;
+  sstart : float;          (** absolute µs *)
+  sdepth : int;
+  mutable sargs : (string * string) list;
+  slive : bool;            (** false for the disabled-path dummy *)
+}
+
+let null_span =
+  { sname = ""; scat = ""; stid = 0; sstart = 0.0; sdepth = 0; sargs = []; slive = false }
+
+let begin_span ?(cat = "") ?(args = []) name =
+  if not !on then null_span
+  else begin
+    let s =
+      { sname = name; scat = cat; stid = !cur_tid; sstart = now_us ();
+        sdepth = !depth; sargs = args; slive = true }
+    in
+    incr depth;
+    s
+  end
+
+(** Attach a tag to an open span (shown in the Chrome trace args). *)
+let tag (s : span) k v = if s.slive then s.sargs <- s.sargs @ [ (k, v) ]
+
+let end_span ?(args = []) (s : span) =
+  if s.slive then begin
+    depth := max 0 (!depth - 1);
+    let close = now_us () in
+    record
+      {
+        ename = s.sname;
+        ecat = s.scat;
+        eph = Complete;
+        ets = s.sstart -. !t0;
+        edur = close -. s.sstart;
+        etid = s.stid;
+        edepth = s.sdepth;
+        eargs = s.sargs @ args;
+      }
+  end
+
+(** Run [f] inside a span (exception-safe; the span closes either way,
+    tagged [raised=exn] if [f] raised). *)
+let span ?cat ?args name f =
+  if not !on then f ()
+  else begin
+    let s = begin_span ?cat ?args name in
+    match f () with
+    | r ->
+      end_span s;
+      r
+    | exception e ->
+      tag s "raised" (Printexc.to_string e);
+      end_span s;
+      raise e
+  end
+
+(** {!time_ms} that also records the interval as a span when enabled:
+    the single timing mechanism for [--stats]-style reports. *)
+let timed_span ?cat ?args name f =
+  if not !on then time_ms f
+  else begin
+    let s = begin_span ?cat ?args name in
+    match time_ms f with
+    | r, ms ->
+      tag s "ms" (Printf.sprintf "%.3f" ms);
+      end_span s;
+      (r, ms)
+    | exception e ->
+      tag s "raised" (Printexc.to_string e);
+      end_span s;
+      raise e
+  end
+
+(** Record an instant event. *)
+let instant ?(cat = "") ?(args = []) name =
+  if !on then
+    record
+      { ename = name; ecat = cat; eph = Instant; ets = now_us () -. !t0;
+        edur = 0.0; etid = !cur_tid; edepth = !depth; eargs = args }
+
+(** Record a complete event whose opening time was captured earlier with
+    {!now_us} (used by Psim for per-task swimlanes, where fibers
+    interleave and a stack discipline does not hold). *)
+let complete ?(cat = "") ?(args = []) ?tid ~start_us name =
+  if !on then
+    record
+      {
+        ename = name;
+        ecat = cat;
+        eph = Complete;
+        ets = start_us -. !t0;
+        edur = now_us () -. start_us;
+        etid = (match tid with Some t -> t | None -> !cur_tid);
+        edepth = !depth;
+        eargs = args;
+      }
+
+(** Run [f] with events attributed to virtual thread [tid] (Chrome trace
+    rows). *)
+let with_tid tid f =
+  if not !on then f ()
+  else begin
+    let old = !cur_tid in
+    cur_tid := tid;
+    Fun.protect ~finally:(fun () -> cur_tid := old) f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* JSON (emission and parsing)                                         *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(** A minimal JSON reader, used to round-trip-validate the Chrome trace
+    and to parse metric dumps for [noelle-trace --compare]. *)
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let error msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> error (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else error ("expected " ^ word)
+    in
+    let parse_string () =
+      expect '"';
+      let b = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then error "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance (); Buffer.contents b
+        | '\\' ->
+          advance ();
+          if !pos >= n then error "unterminated escape";
+          (match s.[!pos] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | '/' -> Buffer.add_char b '/'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'r' -> Buffer.add_char b '\r'
+          | 'b' -> Buffer.add_char b '\b'
+          | 'f' -> Buffer.add_char b '\012'
+          | 'u' ->
+            if !pos + 4 >= n then error "truncated \\u escape";
+            let hex = String.sub s (!pos + 1) 4 in
+            let code =
+              try int_of_string ("0x" ^ hex) with _ -> error "bad \\u escape"
+            in
+            (* UTF-8 encode (we only ever emit < 0x80, but accept more) *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            pos := !pos + 4
+          | c -> error (Printf.sprintf "bad escape '\\%c'" c));
+          advance ();
+          go ()
+        | c -> Buffer.add_char b c; advance (); go ()
+      in
+      go ()
+    in
+    let parse_number () =
+      let start = !pos in
+      let num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      if !pos = start then error "expected number";
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> f
+      | None -> error "malformed number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); Obj [] end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> error "expected ',' or '}'"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); Arr [] end
+        else begin
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> error "expected ',' or ']'"
+          in
+          elems []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some _ -> Num (parse_number ())
+      | None -> error "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing garbage";
+    v
+
+  let member k = function Obj kvs -> List.assoc_opt k kvs | _ -> None
+  let to_list = function Arr l -> Some l | _ -> None
+  let to_string = function Str s -> Some s | _ -> None
+  let to_num = function Num f -> Some f | _ -> None
+end
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let args_to_json args =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) args)
+  ^ "}"
+
+let event_to_json (e : event) =
+  match e.eph with
+  | Complete ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\
+       \"pid\":1,\"tid\":%d,\"args\":%s}"
+      (json_escape e.ename)
+      (json_escape (if e.ecat = "" then "default" else e.ecat))
+      e.ets e.edur e.etid
+      (args_to_json (("depth", string_of_int e.edepth) :: e.eargs))
+  | Instant ->
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\
+       \"pid\":1,\"tid\":%d,\"args\":%s}"
+      (json_escape e.ename)
+      (json_escape (if e.ecat = "" then "default" else e.ecat))
+      e.ets e.etid (args_to_json e.eargs)
+
+(** The whole buffer as Chrome trace-event JSON (object format: loadable
+    in Perfetto / [chrome://tracing]). *)
+let to_chrome_json () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (event_to_json e))
+    (events ());
+  Buffer.add_string b "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents b
+
+let hist_to_json (h : hist) =
+  let buckets =
+    Array.to_list h.hbuckets
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (_, c) -> c > 0)
+    |> List.map (fun (i, c) ->
+           Printf.sprintf "\"%Ld\":%d" (Int64.shift_left 1L i) c)
+  in
+  Printf.sprintf "{\"type\":\"histogram\",\"count\":%d,\"sum\":%Ld,\"buckets\":{%s}}"
+    h.hcount h.hsum (String.concat "," buckets)
+
+(** The metrics registry as a flat JSON object, sorted by key — the dump
+    [noelle-trace --compare] diffs. *)
+let metrics_to_json () =
+  let entry (name, m) =
+    let v =
+      match m with
+      | Counter r -> Printf.sprintf "{\"type\":\"counter\",\"value\":%Ld}" !r
+      | Gauge r -> Printf.sprintf "{\"type\":\"gauge\",\"value\":%.6g}" !r
+      | Histogram h -> hist_to_json h
+    in
+    Printf.sprintf "\"%s\":%s" (json_escape name) v
+  in
+  "{" ^ String.concat "," (List.map entry (metrics ())) ^ "}"
+
+(** The metrics registry as aligned text. *)
+let metrics_to_text () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter r -> Buffer.add_string b (Printf.sprintf "%-40s %12Ld\n" name !r)
+      | Gauge r -> Buffer.add_string b (Printf.sprintf "%-40s %12.3f\n" name !r)
+      | Histogram h ->
+        Buffer.add_string b
+          (Printf.sprintf "%-40s count %d sum %Ld\n" name h.hcount h.hsum))
+    (metrics ());
+  Buffer.contents b
+
+(* read NOELLE_TRACE once at program start: any non-empty value other
+   than "0" turns the sink on *)
+let () =
+  match Sys.getenv_opt "NOELLE_TRACE" with
+  | Some "" | Some "0" | None -> ()
+  | Some _ -> enable ()

@@ -78,6 +78,35 @@ let seeded_fault ?(max_restarts = 2) ?(rate = 3) ~seed () : fault =
 let persistent_fault ?(max_restarts = 2) ~tid () : fault =
   { max_restarts; death = (fun ~tid:t ~attempt:_ -> if t = tid then Some 10L else None) }
 
+(** Structured task dispositions: what happened to each task of a parallel
+    section, per attempt.  These replace the old [(tid, attempt, string)]
+    log — {!render_event} reproduces its text exactly, and the Chrome
+    trace gets the same facts as span/instant tags. *)
+type task_event =
+  | Task_ok of { tid : int; attempt : int }
+      (** the task ran to completion on this attempt *)
+  | Task_died of { tid : int; attempt : int; cycle : int64 }
+      (** an injected fault killed the task at the given virtual cycle *)
+  | Section_abandoned of { reason : string }
+      (** the whole section exhausted its restart budget *)
+
+let event_tid = function
+  | Task_ok { tid; _ } | Task_died { tid; _ } -> tid
+  | Section_abandoned _ -> -1
+
+let event_attempt = function
+  | Task_ok { attempt; _ } | Task_died { attempt; _ } -> attempt
+  | Section_abandoned _ -> 0
+
+(** The old text form of one disposition, byte-compatible with the string
+    log this type replaced. *)
+let render_event = function
+  | Task_ok { tid; attempt } -> Printf.sprintf "task %d attempt %d: ok" tid attempt
+  | Task_died { tid; attempt; cycle } ->
+    Printf.sprintf "task %d attempt %d: died at cycle %Ld" tid attempt cycle
+  | Section_abandoned { reason } ->
+    Printf.sprintf "task -1 attempt 0: section abandoned: %s" reason
+
 type t = {
   st : Interp.state;
   mutable latency : int64;           (** core-to-core latency *)
@@ -93,8 +122,7 @@ type t = {
   (* resilience *)
   mutable fault : fault option;
   mutable restarts : int;            (** section restarts performed *)
-  mutable task_log : (int * int * string) list;
-      (** (tid, attempt, event) dispositions, most recent first *)
+  mutable task_log : task_event list;  (** dispositions, most recent first *)
 }
 
 let stats_sections (t : t) = t.sections
@@ -104,9 +132,8 @@ let stats_restarts (t : t) = t.restarts
 (** Per-task disposition log in chronological order. *)
 let dispositions (t : t) = List.rev t.task_log
 
-let dispositions_to_string (log : (int * int * string) list) =
-  String.concat "\n"
-    (List.map (fun (tid, att, ev) -> Printf.sprintf "task %d attempt %d: %s" tid att ev) log)
+let dispositions_to_string (log : task_event list) =
+  String.concat "\n" (List.map render_event log)
 
 (* ------------------------------------------------------------------ *)
 (* Fiber scheduler                                                     *)
@@ -188,8 +215,17 @@ let restore_section (r : t) (s : section_snap) =
 (** Run one parallel section to completion.  When [death] is given, a
     per-task instruction counter drives injected failures: the doomed
     fiber raises {!Task_failure} mid-flight. *)
-let run_section (r : t) ?death (tasks : task list) =
+let run_section (r : t) ?death ?(attempt = 1) (tasks : task list) =
   let caller_clock = r.st.Interp.clock in
+  let sp =
+    Trace.begin_span ~cat:"psim"
+      ~args:
+        [ ("tasks", string_of_int (List.length tasks)); ("attempt", string_of_int attempt) ]
+      "psim.section"
+  in
+  (* per-task wall start and starting virtual clock, for Chrome complete
+     events; fibers interleave so the span stack cannot express them *)
+  let task_start : (int, float * int64) Hashtbl.t = Hashtbl.create 8 in
   (* seed task clocks: the pool pays a spawn cost per task *)
   List.iteri
     (fun i t -> t.clock <- Int64.add caller_clock (Int64.mul spawn_cost (Int64.of_int (i + 1))))
@@ -247,6 +283,8 @@ let run_section (r : t) ?death (tasks : task list) =
           match !s with
           | Some Done -> ()
           | None ->
+            if Trace.enabled () then
+              Hashtbl.replace task_start t.tid (Trace.now_us (), t.clock);
             r.st.Interp.clock <- t.clock;
             current := t.tid;
             let st' = start t in
@@ -276,8 +314,34 @@ let run_section (r : t) ?death (tasks : task list) =
     r.st.Interp.clock <- Int64.add finish join_cost;
     r.sections <- r.sections + 1;
     r.par_cycles <- Int64.add r.par_cycles (Int64.sub r.st.Interp.clock caller_clock);
-    r.tasks_executed <- r.tasks_executed + List.length tasks
+    r.tasks_executed <- r.tasks_executed + List.length tasks;
+    (* task_start is only populated under tracing, so this is free when off *)
+    List.iter
+      (fun (t : task) ->
+        match Hashtbl.find_opt task_start t.tid with
+        | None -> ()
+        | Some (start_us, clock0) ->
+          let cycles = Int64.sub t.clock clock0 in
+          Trace.add "psim.task.cycles" (Int64.to_int cycles);
+          Trace.complete ~cat:"psim" ~tid:(1 + t.tid) ~start_us
+            ~args:
+              [ ("fname", t.fname);
+                ("attempt", string_of_int attempt);
+                ("cycles", Int64.to_string cycles);
+              ]
+            ("task:" ^ t.fname))
+      tasks;
+    Trace.incr_m "psim.sections";
+    Trace.add "psim.tasks" (List.length tasks);
+    Trace.end_span
+      ~args:
+        [ ("outcome", "ok");
+          ("section_cycles", Int64.to_string (Int64.sub r.st.Interp.clock caller_clock));
+        ]
+      sp
   with Task_failure tid ->
+    Trace.incr_m "psim.task.deaths";
+    Trace.end_span ~args:[ ("outcome", "died"); ("task", string_of_int tid) ] sp;
     restore_hook ();
     current := -1;
     (* unwind every still-suspended fiber so its frames are discarded *)
@@ -300,14 +364,14 @@ let run_tasks (r : t) (tasks : task list) =
   | Some fault ->
     let snap = snapshot_section r in
     let rec go attempt =
-      match run_section r ~death:(fun ~tid -> fault.death ~tid ~attempt) tasks with
+      match run_section r ~death:(fun ~tid -> fault.death ~tid ~attempt) ~attempt tasks with
       | () ->
         List.iter
-          (fun (t : task) -> r.task_log <- (t.tid, attempt, "ok") :: r.task_log)
+          (fun (t : task) -> r.task_log <- Task_ok { tid = t.tid; attempt } :: r.task_log)
           tasks
       | exception Task_failure tid ->
         r.task_log <-
-          (tid, attempt, Printf.sprintf "died at cycle %Ld" r.st.Interp.clock) :: r.task_log;
+          Task_died { tid; attempt; cycle = r.st.Interp.clock } :: r.task_log;
         restore_section r snap;
         if attempt >= 1 + fault.max_restarts then
           raise
@@ -316,6 +380,7 @@ let run_tasks (r : t) (tasks : task list) =
                   attempt (attempt - 1)))
         else begin
           r.restarts <- r.restarts + 1;
+          Trace.incr_m "psim.task.restarts";
           go (attempt + 1)
         end
     in
@@ -471,7 +536,7 @@ type resilient_result = {
   routput : string;
   rcycles : int64;
   rmode : [ `Parallel | `Sequential_fallback ];
-  rtask_log : (int * int * string) list; (** chronological dispositions *)
+  rtask_log : task_event list; (** chronological dispositions *)
   rrestarts : int;
 }
 
@@ -502,7 +567,7 @@ let run_resilient ?(entry = "main") ?(args = []) ?fuel ?arch ?fault ~(original :
       rrestarts = r.restarts;
     }
   | exception Parallel_failed msg ->
-    let log = ((-1), 0, "section abandoned: " ^ msg) :: r.task_log in
+    let log = Section_abandoned { reason = msg } :: r.task_log in
     let v, out, cycles = run_sequential ~entry ~args ?fuel original in
     {
       rvalue = v;

@@ -93,6 +93,7 @@ let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false) (n : No
     module. *)
 let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
     ?check_races ?analysis_budget ?(verify_meta = false) (m : Irmod.t) =
+  Trace.span ~cat:"pipeline" "pipeline.standard" @@ fun () ->
   let n = Noelle.create ?analysis_budget m in
   let report =
     Noelle.Pipeline.run

@@ -332,14 +332,19 @@ let test_psim_retry () =
         (String.trim r.Psim.Runtime.routput);
       restarts := !restarts + r.Psim.Runtime.rrestarts;
       List.iter
-        (fun (tid, attempt, ev) ->
-          if contains ev "died" then
+        (fun (ev : Psim.Runtime.task_event) ->
+          match ev with
+          | Psim.Runtime.Task_died { tid; attempt; _ } ->
             checkb
               (Printf.sprintf "seed %d: task %d death on attempt %d was retried" seed
                  tid attempt)
               (List.exists
-                 (fun (tid', a', ev') -> tid' = tid && a' > attempt && ev' = "ok")
-                 r.Psim.Runtime.rtask_log))
+                 (function
+                   | Psim.Runtime.Task_ok { tid = tid'; attempt = a' } ->
+                     tid' = tid && a' > attempt
+                   | _ -> false)
+                 r.Psim.Runtime.rtask_log)
+          | _ -> ())
         r.Psim.Runtime.rtask_log)
     [ 1; 2; 3; 4; 5; 6 ];
   checkb "the sweep exercised at least one restart" (!restarts > 0)
@@ -356,10 +361,13 @@ let test_psim_sequential_fallback () =
     (String.trim r.Psim.Runtime.routput);
   checki "three failed attempts logged" 3
     (List.length
-       (List.filter (fun (tid, _, ev) -> tid = 0 && contains ev "died")
+       (List.filter
+          (function Psim.Runtime.Task_died { tid = 0; _ } -> true | _ -> false)
           r.Psim.Runtime.rtask_log));
   checkb "abandonment recorded"
-    (List.exists (fun (_, _, ev) -> contains ev "abandoned") r.Psim.Runtime.rtask_log)
+    (List.exists
+       (function Psim.Runtime.Section_abandoned _ -> true | _ -> false)
+       r.Psim.Runtime.rtask_log)
 
 let suite =
   [

@@ -1,0 +1,263 @@
+(** Noelle.Telemetry: the tracing/metrics spine.  Covers the span stack
+    (nesting, ordering, depth), counter monotonicity, the no-op path when
+    the sink is off, Chrome-trace export round-tripped through the repo's
+    own JSON parser, Psim's structured task events, and the
+    span-per-pass + gate-tag contract of the transactional pipeline. *)
+
+open Helpers
+module T = Noelle.Telemetry
+module Trace = Ir.Trace
+
+(** Run [f] with the sink installed, always disabling and resetting after,
+    so telemetry state never leaks between tests (or into the no-op ones). *)
+let traced f =
+  T.install ();
+  Fun.protect
+    ~finally:(fun () ->
+      T.uninstall ();
+      T.reset ())
+    f
+
+(* a DOALL-parallelizable program: two independent counted loops *)
+let loopy_src =
+  {|
+int main() {
+  int *a = malloc(64);
+  int s = 0;
+  for (int i = 0; i < 64; i++) {
+    a[i] = i * 3 - 1;
+  }
+  for (int i = 0; i < 64; i++) {
+    s += a[i];
+  }
+  print(s);
+  return 0;
+}
+|}
+
+let find_event name =
+  List.find_opt (fun (e : Trace.event) -> e.Trace.ename = name) (T.events ())
+
+(* ------------------------------------------------------------------ *)
+(* Core recording                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_noop_path () =
+  (* NOELLE_TRACE unset in the test environment: everything must be off *)
+  checkb "sink off by default" (not (T.installed ()));
+  T.incr "noop.counter";
+  T.add "noop.counter" 7;
+  T.observe "noop.hist" 5L;
+  let v = T.span ~cat:"t" "noop.span" (fun () -> 41 + 1) in
+  checki "span still runs its body" 42 v;
+  T.instant "noop.instant";
+  checki "no events recorded" 0 (List.length (T.events ()));
+  checki "registry stays empty" 0 (List.length (T.metrics ()));
+  checkb "counter reads back 0" (Int64.equal 0L (T.counter "noop.counter"))
+
+let test_span_nesting () =
+  traced @@ fun () ->
+  let r =
+    T.span ~cat:"outer" "a" (fun () ->
+        let x = T.span ~cat:"inner" "b" (fun () -> 1) in
+        let y = T.span ~cat:"inner" "c" (fun () -> 2) in
+        x + y)
+  in
+  checki "value" 3 r;
+  (* events close innermost-first: b, c, then a *)
+  let names = List.map (fun (e : Trace.event) -> e.Trace.ename) (T.events ()) in
+  checkb "close order b,c,a" (names = [ "b"; "c"; "a" ]);
+  let get n = Option.get (find_event n) in
+  checki "outer depth" 0 (get "a").Trace.edepth;
+  checki "inner depth b" 1 (get "b").Trace.edepth;
+  checki "inner depth c" 1 (get "c").Trace.edepth;
+  let a = get "a" and b = get "b" and c = get "c" in
+  checkb "children start inside parent" (b.Trace.ets >= a.Trace.ets && c.Trace.ets >= a.Trace.ets);
+  checkb "parent spans its children"
+    (a.Trace.ets +. a.Trace.edur >= c.Trace.ets +. c.Trace.edur);
+  checkb "siblings ordered" (c.Trace.ets >= b.Trace.ets)
+
+let test_span_exception_safe () =
+  traced @@ fun () ->
+  (match T.span "boom" (fun () -> failwith "kaput") with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "exception swallowed");
+  match find_event "boom" with
+  | None -> Alcotest.fail "span not closed on exception"
+  | Some e ->
+    checkb "tagged raised" (List.mem_assoc "raised" e.Trace.eargs);
+    checki "depth restored" 0
+      (let s = Trace.begin_span "probe" in
+       let d = s.Trace.sdepth in
+       Trace.end_span s;
+       d)
+
+let test_counter_monotonic () =
+  traced @@ fun () ->
+  T.incr "m.c";
+  T.add "m.c" 4;
+  T.add "m.c" 0;
+  T.add "m.c" (-3);
+  checkb "adds accumulate, <=0 ignored" (Int64.equal 5L (T.counter "m.c"));
+  T.set_gauge "m.g" 2.5;
+  (match Trace.gauge "m.g" with
+  | Some v -> checkb "gauge holds last value" (v = 2.5)
+  | None -> Alcotest.fail "gauge missing");
+  T.observe "m.h" 5L;
+  T.observe "m.h" 1000L;
+  T.observe "m.h" (-7L);
+  match Trace.histogram "m.h" with
+  | None -> Alcotest.fail "histogram missing"
+  | Some h ->
+    checki "observation count" 3 h.Trace.hcount;
+    checkb "sum clamps negatives" (Int64.equal 1005L h.Trace.hsum);
+    (* 5 lands in [4,8) = bucket 2; 1000 in [512,1024) = bucket 9; -7 in 0 *)
+    checki "bucket 2" 1 h.Trace.hbuckets.(2);
+    checki "bucket 9" 1 h.Trace.hbuckets.(9);
+    checki "bucket 0" 1 h.Trace.hbuckets.(0)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_chrome_json_roundtrip () =
+  traced @@ fun () ->
+  T.span ~cat:"analysis" ~args:[ ("k", "v\"quoted\"\n") ] "weird \"name\"\ttab"
+    (fun () -> ());
+  T.instant ~cat:"mark" "i1";
+  let s = T.to_chrome_json () in
+  (* parse back with the repo's own JSON parser, not string matching *)
+  let triples = T.validate_chrome_json s in
+  checki "two events survive" 2 (List.length triples);
+  checkb "escaped name round-trips"
+    (List.exists (fun (n, c, ph) -> n = "weird \"name\"\ttab" && c = "analysis" && ph = "X")
+       triples);
+  checkb "instant present" (List.exists (fun (n, _, ph) -> n = "i1" && ph = "i") triples);
+  let layers = T.layers_of triples in
+  (* layers_of counts complete events only *)
+  checkb "one analysis span" (layers = [ ("analysis", 1) ])
+
+let test_metrics_roundtrip () =
+  traced @@ fun () ->
+  T.add "r.alpha" 3;
+  T.add "r.beta" 10;
+  T.observe "r.hist" 6L;
+  let a = T.parse_metrics (T.metrics_to_json ()) in
+  checkb "counter value parses" (List.assoc_opt "r.alpha" a = Some 3.0);
+  checkb "histogram reports sum" (List.assoc_opt "r.hist" a = Some 6.0);
+  (* now diff against a second dump with one changed, one new, one gone *)
+  T.reset ();
+  T.install ();
+  T.add "r.alpha" 9;
+  T.add "r.gamma" 1;
+  let b = T.parse_metrics (T.metrics_to_json ()) in
+  let deltas = T.diff_metrics a b in
+  let find n = List.find (fun (d : T.delta) -> d.T.dname = n) deltas in
+  checkb "changed" ((find "r.alpha").T.dafter = Some 9.0);
+  checkb "disappeared" ((find "r.beta").T.dafter = None);
+  checkb "appeared" ((find "r.gamma").T.dbefore = None)
+
+(* ------------------------------------------------------------------ *)
+(* Instrumented layers                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_manager_hit_miss () =
+  traced @@ fun () ->
+  let m = compile loopy_src in
+  let n = Noelle.create m in
+  let f = Ir.Irmod.func m "main" in
+  ignore (Noelle.pdg n f);
+  ignore (Noelle.pdg n f);
+  checkb "two queries" (Int64.equal 2L (T.counter "noelle.pdg.queries"));
+  checkb "first query misses" (Int64.equal 1L (T.counter "noelle.pdg.miss"));
+  checkb "second query hits" (Int64.equal 1L (T.counter "noelle.pdg.hit"));
+  checkb "pdg span recorded with source tag"
+    (List.exists
+       (fun (e : Trace.event) ->
+         e.Trace.ename = "noelle.pdg:main"
+         && List.assoc_opt "source" e.Trace.eargs = Some "computed")
+       (T.events ()))
+
+let test_pipeline_span_per_pass () =
+  traced @@ fun () ->
+  let m = compile loopy_src in
+  let report = Ntools.Passes.run_standard m in
+  List.iter
+    (fun (e : Noelle.Pipeline.entry) ->
+      match find_event ("pass:" ^ e.Noelle.Pipeline.epass) with
+      | None -> Alcotest.failf "no span for pass %s" e.Noelle.Pipeline.epass
+      | Some ev ->
+        checkb (e.Noelle.Pipeline.epass ^ " has outcome tag")
+          (List.mem_assoc "outcome" ev.Trace.eargs);
+        checkb (e.Noelle.Pipeline.epass ^ " has verify tag")
+          (List.mem_assoc "verify" ev.Trace.eargs);
+        checkb (e.Noelle.Pipeline.epass ^ " has differential tag")
+          (List.mem_assoc "differential" ev.Trace.eargs))
+    report.Noelle.Pipeline.entries;
+  checkb "committed counter matches report"
+    (Int64.equal
+       (Int64.of_int
+          (List.length
+             (List.filter
+                (fun (e : Noelle.Pipeline.entry) ->
+                  match e.Noelle.Pipeline.eoutcome with
+                  | Noelle.Pipeline.Committed _ -> true
+                  | _ -> false)
+                report.Noelle.Pipeline.entries)))
+       (T.counter "pipeline.committed"))
+
+let test_psim_events () =
+  (* pure render round-trip: the structured events must reproduce the old
+     string log byte for byte *)
+  let log =
+    [ Psim.Runtime.Task_died { tid = 2; attempt = 1; cycle = 431L };
+      Psim.Runtime.Task_ok { tid = 2; attempt = 2 };
+      Psim.Runtime.Section_abandoned { reason = "no luck" };
+    ]
+  in
+  checks "render"
+    "task 2 attempt 1: died at cycle 431\ntask 2 attempt 2: ok\ntask -1 attempt 0: section abandoned: no luck"
+    (Psim.Runtime.dispositions_to_string log);
+  (* a real resilient run under tracing: task swimlane events + counters *)
+  traced @@ fun () ->
+  let original = compile loopy_src in
+  let m = compile loopy_src in
+  let n = Noelle.create m in
+  let results = Ntools.Doall.run n m ~ncores:4 ~min_hotness:0.0 ~min_work:0.0 () in
+  checkb "DOALL parallelized" (List.exists (fun (_, r) -> Result.is_ok r) results);
+  let fault = Psim.Runtime.seeded_fault ~seed:1 () in
+  let r = Psim.Runtime.run_resilient ~fault ~original m in
+  checkb "stayed parallel" (r.Psim.Runtime.rmode = `Parallel);
+  checkb "every task eventually ok"
+    (List.exists
+       (function Psim.Runtime.Task_ok _ -> true | _ -> false)
+       r.Psim.Runtime.rtask_log);
+  checkb "psim sections counted" (Int64.compare (T.counter "psim.sections") 0L > 0);
+  let task_events =
+    List.filter
+      (fun (e : Trace.event) ->
+        e.Trace.ecat = "psim" && String.length e.Trace.ename > 5
+        && String.sub e.Trace.ename 0 5 = "task:")
+      (T.events ())
+  in
+  checkb "per-task swimlane events present" (task_events <> []);
+  checkb "tasks ride their own tid rows"
+    (List.for_all (fun (e : Trace.event) -> e.Trace.etid > 0) task_events);
+  checkb "task events carry cycle counts"
+    (List.for_all
+       (fun (e : Trace.event) -> List.mem_assoc "cycles" e.Trace.eargs)
+       task_events)
+
+let suite =
+  let tc name f = Alcotest.test_case name `Quick f in
+  [
+    tc "no-op path when sink is off" test_noop_path;
+    tc "span nesting and ordering" test_span_nesting;
+    tc "span closes on exception" test_span_exception_safe;
+    tc "counters, gauges, histograms" test_counter_monotonic;
+    tc "Chrome JSON round-trip" test_chrome_json_roundtrip;
+    tc "metrics dump parse and diff" test_metrics_roundtrip;
+    tc "manager hit/miss attribution" test_manager_hit_miss;
+    tc "pipeline span per pass with gate tags" test_pipeline_span_per_pass;
+    tc "psim structured events and swimlanes" test_psim_events;
+  ]
