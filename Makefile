@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta trace bench-json
+.PHONY: check build test faultcheck lint verify-meta trace bench-json bench-gate
 
 build:
 	dune build
@@ -33,8 +33,20 @@ verify-meta: build
 trace: build
 	dune exec bin/noelle_trace.exe -- --kernel histogram --check -q
 
-# machine-readable benchmark rows (wall ms + counter deltas per kernel)
+# machine-readable benchmark rows (wall ms + counter deltas per kernel),
+# plus the synthetic scaling comparison of the sparse analysis engine
+# against the naive solver/builder paths (DESIGN.md §11)
 bench-json: build
-	dune exec bench/main.exe -- --json figure3
+	dune exec bench/main.exe -- --json figure3 scaling
 
-check: build test faultcheck lint verify-meta trace
+# smoke gate over the freshly regenerated bench JSON: the sparse engine
+# must actually have run (delta propagations and bucketing skips logged)
+# and no PDG build or points-to solve may have fallen back to a degraded
+# answer on the kernel corpus or the scaling modules
+bench-gate: bench-json
+	grep -q '"andersen.delta_props"' BENCH_figure3.json
+	grep -q '"pdg.pairs_skipped_bucketing"' BENCH_figure3.json
+	grep -q '"andersen.delta_props"' BENCH_scaling.json
+	! grep -q 'degraded' BENCH_figure3.json BENCH_scaling.json
+
+check: build test faultcheck lint verify-meta trace bench-gate

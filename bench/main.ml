@@ -274,18 +274,21 @@ let figure3 () =
     (fun (k : Bsuite.Kernels.kernel) ->
       bench_row k.Bsuite.Kernels.kname @@ fun () ->
       let m = Bsuite.Kernels.compile k in
-      let rate stack =
+      let rate ?pts stack =
         let tot = ref 0 and dis = ref 0 in
         List.iter
           (fun f ->
-            let p = Noelle.Pdg.build ~stack m f in
+            let p = Noelle.Pdg.build ?pts ~stack m f in
             tot := !tot + p.Noelle.Pdg.mem_pairs_total;
             dis := !dis + p.Noelle.Pdg.mem_pairs_disproved)
           (Ir.Irmod.defined_functions m);
         if !tot = 0 then 1.0 else float_of_int !dis /. float_of_int !tot
       in
       let b = rate Ir.Andersen.baseline_stack in
-      let n = rate (Ir.Andersen.noelle_stack m) in
+      (* the NOELLE arm shares one points-to solution between the alias
+         stack and the PDG builder's bucketing/memoization layer *)
+      let a = Ir.Andersen.analyze m in
+      let n = rate ~pts:a [ Ir.Alias.baseline; Ir.Andersen.analysis a ] in
       bsum := !bsum +. b;
       nsum := !nsum +. n;
       incr cnt;
@@ -295,7 +298,27 @@ let figure3 () =
     (corpus ());
   Printf.printf "  %-14s %-8s %9.1f%% %9.1f%%\n" "AVERAGE" ""
     (100.0 *. !bsum /. float_of_int !cnt)
-    (100.0 *. !nsum /. float_of_int !cnt)
+    (100.0 *. !nsum /. float_of_int !cnt);
+  (* two whole-corpus rows isolating the bucketing win: identical NOELLE
+     stack, PDGs built with and without the points-to classes, so the
+     pdg.alias_queries delta of each row is directly comparable *)
+  if !json_mode then begin
+    let sweep name pts_on =
+      bench_row name @@ fun () ->
+      List.iter
+        (fun (k : Bsuite.Kernels.kernel) ->
+          let m = Bsuite.Kernels.compile k in
+          let a = Ir.Andersen.analyze m in
+          let stack = [ Ir.Alias.baseline; Ir.Andersen.analysis a ] in
+          let pts = if pts_on then Some a else None in
+          List.iter
+            (fun f -> ignore (Noelle.Pdg.build ?pts ~stack m f))
+            (Ir.Irmod.defined_functions m))
+        (corpus ())
+    in
+    sweep "corpus-unbucketed" false;
+    sweep "corpus-bucketed" true
+  end
 
 let figure4 () =
   banner "Figure 4: loop invariants found (LLVM Algorithm 1 vs NOELLE Algorithm 2)";
@@ -666,6 +689,121 @@ let trust_section () =
        (Bsuite.Generator.program ~cfg:big_cfg 42))
 
 (* ------------------------------------------------------------------ *)
+(* Scaling: sparse engine vs naive solver (DESIGN.md §11)               *)
+(* ------------------------------------------------------------------ *)
+
+(** Synthetic module: [nfuncs] functions [work<k>(p, q, n)], each a
+    single-block loop doing [chunk] rounds of gep/load/store traffic over
+    its pointer arguments and four shared globals, chained by a call to
+    [work<k-1>].  Sized via [chunk] to hit a target instruction count well
+    past the kernel corpus, so the solver and PDG-build asymptotics — not
+    constant factors — dominate. *)
+let synth_module ~name ~nfuncs ~chunk =
+  let m = Ir.Irmod.create ~name () in
+  for g = 0 to 3 do
+    Ir.Irmod.add_global m
+      { Ir.Irmod.gname = Printf.sprintf "g%d" g; size = 64; init = None }
+  done;
+  let open Ir.Instr in
+  for k = 0 to nfuncs - 1 do
+    let f =
+      Ir.Func.create
+        ~name:(Printf.sprintf "work%d" k)
+        ~params:[ ("p", Ir.Ty.Ptr); ("q", Ir.Ty.Ptr); ("n", Ir.Ty.I64) ]
+        ~ret:Ir.Ty.I64
+    in
+    let entry = Ir.Builder.add_block f ~label:"entry" in
+    let loop = Ir.Builder.add_block f ~label:"loop" in
+    let exit_ = Ir.Builder.add_block f ~label:"exit" in
+    let buf = Ir.Builder.add f entry.Ir.Func.bid (Alloca (Cint 8L)) Ir.Ty.Ptr in
+    ignore (Ir.Builder.add f entry.Ir.Func.bid (Store (Cint 0L, Reg buf.id)) Ir.Ty.Void);
+    ignore (Ir.Builder.set_term f entry.Ir.Func.bid (Br loop.Ir.Func.bid));
+    let iv = Ir.Builder.add f loop.Ir.Func.bid (Phi [ (entry.Ir.Func.bid, Cint 0L) ]) Ir.Ty.I64 in
+    let acc0 = Ir.Builder.add f loop.Ir.Func.bid (Phi [ (entry.Ir.Func.bid, Cint 0L) ]) Ir.Ty.I64 in
+    let acc = ref (Reg acc0.id) in
+    for j = 0 to chunk - 1 do
+      let gp = Ir.Builder.add f loop.Ir.Func.bid (Gep (Arg 0, Reg iv.id)) Ir.Ty.Ptr in
+      let lv = Ir.Builder.add f loop.Ir.Func.bid (Load (Reg gp.id)) Ir.Ty.I64 in
+      let gq =
+        Ir.Builder.add f loop.Ir.Func.bid (Gep (Arg 1, Cint (Int64.of_int j))) Ir.Ty.Ptr
+      in
+      ignore (Ir.Builder.add f loop.Ir.Func.bid (Store (Reg lv.id, Reg gq.id)) Ir.Ty.Void);
+      let gg =
+        Ir.Builder.add f loop.Ir.Func.bid
+          (Gep (Glob (Printf.sprintf "g%d" (j mod 4)), Reg iv.id))
+          Ir.Ty.Ptr
+      in
+      let gv = Ir.Builder.add f loop.Ir.Func.bid (Load (Reg gg.id)) Ir.Ty.I64 in
+      let s = Ir.Builder.add f loop.Ir.Func.bid (Bin (Add, !acc, Reg gv.id)) Ir.Ty.I64 in
+      acc := Reg s.id
+    done;
+    if k > 0 then begin
+      let c =
+        Ir.Builder.add f loop.Ir.Func.bid
+          (Call (Glob (Printf.sprintf "work%d" (k - 1)), [ Reg buf.id; Arg 1; Cint 4L ]))
+          Ir.Ty.I64
+      in
+      let s = Ir.Builder.add f loop.Ir.Func.bid (Bin (Add, !acc, Reg c.id)) Ir.Ty.I64 in
+      acc := Reg s.id
+    end;
+    let next = Ir.Builder.add f loop.Ir.Func.bid (Bin (Add, Reg iv.id, Cint 1L)) Ir.Ty.I64 in
+    iv.op <- Phi [ (entry.Ir.Func.bid, Cint 0L); (loop.Ir.Func.bid, Reg next.id) ];
+    acc0.op <- Phi [ (entry.Ir.Func.bid, Cint 0L); (loop.Ir.Func.bid, !acc) ];
+    let cond = Ir.Builder.add f loop.Ir.Func.bid (Icmp (Slt, Reg next.id, Arg 2)) Ir.Ty.I64 in
+    ignore (Ir.Builder.set_term f loop.Ir.Func.bid (Cbr (Reg cond.id, loop.Ir.Func.bid, exit_.Ir.Func.bid)));
+    ignore (Ir.Builder.set_term f exit_.Ir.Func.bid (Ret (Some !acc)));
+    Ir.Irmod.add_func m f
+  done;
+  let main = Ir.Func.create ~name:"main" ~params:[] ~ret:Ir.Ty.I64 in
+  let b = Ir.Builder.add_block main ~label:"entry" in
+  let c =
+    Ir.Builder.add main b.Ir.Func.bid
+      (Call
+         ( Glob (Printf.sprintf "work%d" (nfuncs - 1)),
+           [ Glob "g0"; Glob "g1"; Cint 16L ] ))
+      Ir.Ty.I64
+  in
+  ignore (Ir.Builder.set_term main b.Ir.Func.bid (Ret (Some (Reg c.id))));
+  Ir.Irmod.add_func m main;
+  Ir.Verify.verify_module m;
+  m
+
+let scaling () =
+  banner "Scaling: worklist Andersen + bucketed PDG vs naive paths (synthetic)";
+  let base =
+    List.fold_left
+      (fun acc (k : Bsuite.Kernels.kernel) ->
+        max acc (Ir.Irmod.total_insts (Bsuite.Kernels.compile k)))
+      0 Bsuite.Kernels.all
+  in
+  Printf.printf "  largest kernel: %d instructions\n" base;
+  List.iter
+    (fun (label, mult) ->
+      let nfuncs = 4 * mult in
+      let chunk = max 1 (((mult * base / nfuncs) - 14) / 4) in
+      let m = synth_module ~name:label ~nfuncs ~chunk in
+      let fns = Ir.Irmod.defined_functions m in
+      let naive () =
+        let a = Ir.Andersen.solve_naive m in
+        let stack = [ Ir.Alias.baseline; Ir.Andersen.analysis a ] in
+        List.iter (fun f -> ignore (Noelle.Pdg.build ~stack m f)) fns
+      in
+      let sparse () =
+        let a = Ir.Andersen.analyze m in
+        let stack = [ Ir.Alias.baseline; Ir.Andersen.analysis a ] in
+        List.iter (fun f -> ignore (Noelle.Pdg.build ~pts:a ~stack m f)) fns
+      in
+      let (), naive_ms = Ir.Trace.time_ms (fun () -> bench_row (label ^ "-naive") naive) in
+      let (), sparse_ms =
+        Ir.Trace.time_ms (fun () -> bench_row (label ^ "-sparse") sparse)
+      in
+      Printf.printf
+        "  %-6s %6d insts, %2d fns: naive %8.2f ms, sparse %8.2f ms (%.1fx)\n" label
+        (Ir.Irmod.total_insts m) (List.length fns) naive_ms sparse_ms
+        (if sparse_ms > 0. then naive_ms /. sparse_ms else 0.))
+    [ ("x4", 4); ("x16", 16) ]
+
+(* ------------------------------------------------------------------ *)
 (* Optional: sequential test script (the paper's bash fallback, §2.4)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -694,6 +832,7 @@ let sections =
     ("ablation-cores", ablation_doall_cores);
     ("ablation-aa", ablation_aa);
     ("trust", trust_section);
+    ("scaling", scaling);
     ("bechamel", bechamel_section) ]
 
 let () =

@@ -51,12 +51,30 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
     metrics_out
     (List.length (Noelle.Telemetry.metrics ()));
   List.iter (fun (cat, n) -> Printf.printf "  layer %-10s %d spans\n" cat n) layers;
+  (* the sparse analysis engine (DESIGN.md §11) must have been exercised:
+     its counters are registered (possibly at zero) whenever the worklist
+     solver, the bucketed PDG builder and fingerprint-keyed invalidation
+     actually ran, so their absence means a silent fallback to a slow or
+     stale path *)
+  let metric_names = List.map fst (Noelle.Telemetry.metrics ()) in
+  let missing =
+    List.filter
+      (fun c -> not (List.mem c metric_names))
+      [ "andersen.delta_props"; "andersen.cycles_collapsed";
+        "pdg.pairs_skipped_bucketing"; "pdg.alias_memo_hits";
+        "noelle.invalidate.kept" ]
+  in
   Noelle.Telemetry.uninstall ();
   if check && List.length layers < 3 then begin
     Printf.eprintf
       "noelle-trace: expected spans from at least 3 layers, got %d (%s)\n"
       (List.length layers)
       (String.concat ", " (List.map fst layers));
+    1
+  end
+  else if check && missing <> [] then begin
+    Printf.eprintf "noelle-trace: sparse-engine counters missing: %s\n"
+      (String.concat ", " missing);
     1
   end
   else if check && not report.Noelle.Pipeline.final_ok then 1
@@ -96,8 +114,9 @@ let compare =
          ~doc:"diff two metrics dumps given as the positional arguments")
 let check =
   Arg.(value & flag & info [ "check" ]
-         ~doc:"fail unless spans from at least 3 layers are present and the \
-               pipeline survived its gates (CI smoke mode)")
+         ~doc:"fail unless spans from at least 3 layers are present, the \
+               sparse-engine counters are registered, and the pipeline \
+               survived its gates (CI smoke mode)")
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress the pipeline report")
 
 let cmd =

@@ -41,6 +41,23 @@ module Telemetry = Telemetry
 
 open Ir
 
+(** A cached per-function artifact, stamped for fingerprint-keyed
+    incremental invalidation (DESIGN.md §11): [pfp] is the function's
+    structural fingerprint at compute time, [pafp] the Andersen solution
+    fingerprint it was built under ([""] when it has no points-to
+    dependency: baseline-stack builds and verified metadata reloads).
+    {!invalidate} keeps entries whose function fingerprint still matches,
+    marking them [psuspect] when the points-to facts were dropped; the
+    next access revalidates [pafp] against the recomputed solution and
+    rebuilds on mismatch — so a kept entry is always bit-identical to a
+    from-scratch recompute. *)
+type cached_pdg = {
+  pfp : string;
+  pafp : string;
+  mutable psuspect : bool;
+  pval : Pdg.t;
+}
+
 type t = {
   m : Irmod.t;
   mutable tool : string;
@@ -50,10 +67,13 @@ type t = {
       (** step budget for demand-driven analyses: past it Andersen degrades
           to a conservative points-to result and the PDG stops issuing
           alias queries, emitting may-deps instead (sound, less precise) *)
-  mutable andersen : Andersen.t option;
-  pdgs : (string, Pdg.t) Hashtbl.t;
-  nests : (string, Loopnest.t) Hashtbl.t;
-  mutable cg : Callgraph.t option;
+  mutable andersen : (string * string * Andersen.t) option;
+      (** (module fingerprint, solution fingerprint, result) *)
+  pdgs : (string, cached_pdg) Hashtbl.t;
+  nests : (string, string * Loopnest.t) Hashtbl.t;
+      (** function fingerprint at compute time, nest *)
+  mutable cg : (string * Callgraph.t) option;
+      (** module fingerprint at compute time, graph *)
   mutable arch_ : Arch.t option;
   mutable trust_mode : Trust.mode;
       (** what a failed metadata verification does: [Degrade] quarantines
@@ -92,8 +112,8 @@ let set_analysis_budget (t : t) b = t.analysis_budget <- b
 (** Did any cached analysis hit its budget and degrade to a conservative
     result? *)
 let degraded (t : t) =
-  (match t.andersen with Some a -> a.Andersen.degraded | None -> false)
-  || Hashtbl.fold (fun _ (p : Pdg.t) acc -> acc || p.Pdg.degraded) t.pdgs false
+  (match t.andersen with Some (_, _, a) -> a.Andersen.degraded | None -> false)
+  || Hashtbl.fold (fun _ (c : cached_pdg) acc -> acc || c.pval.Pdg.degraded) t.pdgs false
 
 let record (t : t) abstraction = Hashtbl.replace t.usage (t.tool, abstraction) ()
 
@@ -129,16 +149,73 @@ let distrust (t : t) (e : Trust.event) =
   | Trust.Degrade -> Trust.quarantine t.m.Irmod.meta ~prefix:e.Trust.aprefix
 
 (** Invalidate cached analyses after a transformation mutated the module.
+
+    Fingerprint-keyed and incremental (DESIGN.md §11): instead of
+    resetting every cache, each cached artifact's stamp is compared
+    against the code as it stands now.  Module-keyed artifacts (Andersen,
+    call graph) are dropped only when the module fingerprint changed;
+    per-function artifacts (PDGs, loop nests) only when their function's
+    fingerprint changed — so a transform touching one function no longer
+    forces whole-module reanalysis.  PDGs kept across a points-to drop
+    are marked suspect and revalidated against the recomputed Andersen
+    solution fingerprint on next access, which keeps incremental results
+    bit-identical to from-scratch recomputation even when a one-function
+    edit shifts interprocedural aliasing.
+
     Embedded PDG artifacts are reconciled too: any whose stamp no longer
     matches the transformed code is quarantined, so a re-request cannot
     resurrect the stale pre-transform graph.  (Quarantine here is
     legitimate bookkeeping, not a trust violation — strict mode does not
     trap on it.) *)
 let invalidate (t : t) =
-  t.andersen <- None;
-  Hashtbl.reset t.pdgs;
-  Hashtbl.reset t.nests;
-  t.cg <- None;
+  let mfp = Fingerprint.module_fp t.m in
+  let andersen_stale =
+    match t.andersen with Some (amfp, _, _) -> amfp <> mfp | None -> false
+  in
+  if andersen_stale then t.andersen <- None;
+  (match t.cg with
+  | Some (cmfp, _) when cmfp <> mfp -> t.cg <- None
+  | _ -> ());
+  let kept = ref 0 and dropped = ref 0 in
+  let fp_cache : (string, string option) Hashtbl.t = Hashtbl.create 16 in
+  let fp_of fn =
+    match Hashtbl.find_opt fp_cache fn with
+    | Some v -> v
+    | None ->
+      let v =
+        match Irmod.func_opt t.m fn with
+        | Some f when not f.Func.is_declaration -> Some (Fingerprint.func_fp f)
+        | _ -> None
+      in
+      Hashtbl.replace fp_cache fn v;
+      v
+  in
+  let stale_pdgs = ref [] in
+  Hashtbl.iter
+    (fun fn (c : cached_pdg) ->
+      if fp_of fn = Some c.pfp then begin
+        incr kept;
+        if andersen_stale && c.pafp <> "" then c.psuspect <- true
+      end
+      else begin
+        incr dropped;
+        stale_pdgs := fn :: !stale_pdgs
+      end)
+    t.pdgs;
+  List.iter (Hashtbl.remove t.pdgs) !stale_pdgs;
+  let stale_nests = ref [] in
+  Hashtbl.iter
+    (fun fn (nfp, _) ->
+      if fp_of fn = Some nfp then incr kept
+      else begin
+        incr dropped;
+        stale_nests := fn :: !stale_nests
+      end)
+    t.nests;
+  List.iter (Hashtbl.remove t.nests) !stale_nests;
+  Trace.touch "noelle.invalidate.kept";
+  Trace.add "noelle.invalidate.kept" !kept;
+  Trace.add "noelle.invalidate.dropped" !dropped;
   let evs =
     Trust.reconcile
       ~kinds:(function Trust.Pdg_artifact _ -> true | _ -> false)
@@ -148,7 +225,7 @@ let invalidate (t : t) =
 
 let andersen (t : t) =
   match t.andersen with
-  | Some a ->
+  | Some (_, _, a) ->
     hit "andersen";
     a
   | None ->
@@ -157,8 +234,18 @@ let andersen (t : t) =
       Trace.span ~cat:"analysis" "noelle.andersen" (fun () ->
           Andersen.analyze ?budget:t.analysis_budget t.m)
     in
-    t.andersen <- Some a;
+    t.andersen <- Some (Fingerprint.module_fp t.m, Andersen.solution_fp a, a);
     a
+
+(** Solution fingerprint PDGs are stamped with: the current Andersen
+    solution's when the full stack is in use (computing it on demand),
+    [""] when only the baseline stack powers the PDG. *)
+let andersen_fp (t : t) =
+  if not t.use_noelle_aa then ""
+  else begin
+    ignore (andersen t);
+    match t.andersen with Some (_, afp, _) -> afp | None -> ""
+  end
 
 (** The alias stack powering the PDG (modular: baseline, then Andersen). *)
 let alias_stack (t : t) : Alias.stack =
@@ -173,7 +260,24 @@ let alias_stack (t : t) : Alias.stack =
 let pdg (t : t) (f : Func.t) : Pdg.t =
   record t "PDG";
   Trace.incr_m "noelle.pdg.queries";
-  match Hashtbl.find_opt t.pdgs f.Func.fname with
+  let cached =
+    match Hashtbl.find_opt t.pdgs f.Func.fname with
+    | Some c when c.psuspect ->
+      (* kept across an invalidate that dropped the points-to facts: the
+         entry is exact iff the recomputed solution fingerprint matches
+         the one it was built under *)
+      if andersen_fp t = c.pafp then begin
+        c.psuspect <- false;
+        Some c.pval
+      end
+      else begin
+        Hashtbl.remove t.pdgs f.Func.fname;
+        None
+      end
+    | Some c -> Some c.pval
+    | None -> None
+  in
+  match cached with
   | Some p ->
     hit "pdg";
     p
@@ -182,9 +286,11 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
     let sp = Trace.begin_span ~cat:"analysis" ("noelle.pdg:" ^ f.Func.fname) in
     let kind = Trust.Pdg_artifact f.Func.fname in
     let prefix = Trust.prefix_of_kind kind in
+    let reloaded = ref false in
     let build () =
       Trace.tag sp "source" "computed";
-      Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) t.m f
+      let pts = if t.use_noelle_aa then Some (andersen t) else None in
+      Pdg.build ?budget:t.analysis_budget ~stack:(alias_stack t) ?pts t.m f
     in
     let p =
       (* [distrust] may raise in Strict mode: close the span either way *)
@@ -198,6 +304,7 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
             t.fast_reloads <- t.fast_reloads + 1;
             Trace.incr_m "noelle.cache.fast_reload";
             Trace.tag sp "source" "verified-reload";
+            reloaded := true;
             p
           | None ->
             (* checksum verified but the payload would not decode (ghost
@@ -213,13 +320,18 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
           distrust t { Trust.akind = kind; aprefix = prefix; averdict = v };
           build ()
     in
-    Hashtbl.replace t.pdgs f.Func.fname p;
+    (* verified reloads carry no alias-stack dependency: their validity is
+       keyed on the function fingerprint alone, exactly like a
+       from-scratch manager would reload them *)
+    let pafp = if !reloaded then "" else andersen_fp t in
+    Hashtbl.replace t.pdgs f.Func.fname
+      { pfp = Fingerprint.func_fp f; pafp; psuspect = false; pval = p };
     p
 
 (** Raw natural-loop information of [f] (cached). *)
 let loopnest (t : t) (f : Func.t) : Loopnest.t =
   match Hashtbl.find_opt t.nests f.Func.fname with
-  | Some n ->
+  | Some (_, n) ->
     hit "loopnest";
     n
   | None ->
@@ -228,7 +340,7 @@ let loopnest (t : t) (f : Func.t) : Loopnest.t =
       Trace.span ~cat:"analysis" ("noelle.loopnest:" ^ f.Func.fname) (fun () ->
           Loopnest.compute f)
     in
-    Hashtbl.replace t.nests f.Func.fname n;
+    Hashtbl.replace t.nests f.Func.fname (Fingerprint.func_fp f, n);
     n
 
 (** Loop structures (LS) of every loop in [f]. *)
@@ -251,7 +363,7 @@ let loop_forest (t : t) (f : Func.t) =
 let callgraph (t : t) : Callgraph.t =
   record t "CG";
   match t.cg with
-  | Some cg ->
+  | Some (_, cg) ->
     hit "callgraph";
     cg
   | None ->
@@ -260,7 +372,7 @@ let callgraph (t : t) : Callgraph.t =
       Trace.span ~cat:"analysis" "noelle.callgraph" (fun () ->
           Callgraph.build ~pts:(andersen t) t.m)
     in
-    t.cg <- Some cg;
+    t.cg <- Some (Fingerprint.module_fp t.m, cg);
     cg
 
 (** The architecture description (AR), from embedded metadata when the

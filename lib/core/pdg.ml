@@ -19,19 +19,33 @@ type t = {
   m : Irmod.t;
   stack : Alias.stack;
   (* statistics for the Figure 3 experiment *)
-  mem_pairs_total : int;       (** candidate memory-dependence queries *)
-  mem_pairs_disproved : int;   (** queries answered "no dependence" *)
+  mem_pairs_total : int;       (** candidate memory-dependence pairs *)
+  mem_pairs_disproved : int;   (** pairs answered "no dependence" *)
+  mem_queries : int;
+      (** alias-stack queries actually issued: candidate pairs minus those
+          skipped by points-to bucketing or answered from the memo table *)
   degraded : bool;
-  (** the pairwise-query budget was exhausted: the remaining memory
+  (** the alias-query budget was exhausted: the remaining memory
       dependences were emitted conservatively (may-dep) without consulting
       the alias stack.  The graph is sound but less precise. *)
 }
 
 (** Build the dependence graph of function [f] using alias stack [stack].
-    [budget], when given, bounds the number of alias-stack queries: past
-    the budget every remaining candidate pair is treated as a may
-    dependence and the result is marked {!field-degraded}. *)
-let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f : Func.t) : t =
+
+    [pts], when given (and not degraded), turns on alias-class bucketing:
+    memory instructions are partitioned by Andersen points-to class —
+    two instructions whose pointer operands reach disjoint object sets can
+    never depend, so cross-class pairs are disproved without consulting
+    the alias stack at all.  Load/store answers that *are* queried get
+    memoized per pointer-value pair, so phi-congruent operand pairs hit
+    the stack once.  Both shortcuts must agree with the stack (the
+    differential suite checks edge sets against the unbucketed builder).
+
+    [budget], when given, bounds the number of alias-stack queries
+    actually issued (skipped pairs and memo hits are free): past the
+    budget every remaining candidate pair is treated as a may dependence
+    and the result is marked {!field-degraded}. *)
+let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) ?pts (m : Irmod.t) (f : Func.t) : t =
   let g = Depgraph.create () in
   Func.iter_insts (fun i -> Depgraph.add_node g i.Instr.id) f;
   (* register dependences (SSA def-use): always must, RAW *)
@@ -49,6 +63,12 @@ let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f :
      ipostdom(a) (exclusive) is control-dependent on a's terminator *)
   let pdt = Dom.compute_post f in
   let dep_blocks = Hashtbl.create 16 in
+  (* membership of the growing per-terminator block lists is a
+     Hashtbl-backed set, not [List.mem] over the accumulator (quadratic on
+     CFGs where many edges share a postdominator path).  A block already
+     recorded for [a] also has all its ancestors up to [idom a] recorded
+     (same stop block), so the walk can cut off there entirely. *)
+  let dep_seen : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
   List.iter
     (fun a ->
       List.iter
@@ -58,9 +78,11 @@ let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f :
           let continue_ = ref true in
           while !continue_ do
             if Some !x = stop then continue_ := false
+            else if Hashtbl.mem dep_seen (a, !x) then continue_ := false
             else begin
+              Hashtbl.replace dep_seen (a, !x) ();
               let cur = try Hashtbl.find dep_blocks a with Not_found -> [] in
-              if not (List.mem !x cur) then Hashtbl.replace dep_blocks a (!x :: cur);
+              Hashtbl.replace dep_blocks a (!x :: cur);
               match Hashtbl.find_opt pdt.Dom.idom !x with
               | Some up when up <> !x -> x := up
               | _ -> continue_ := false
@@ -104,14 +126,120 @@ let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f :
     | _ -> false
   in
   let total = ref 0 and disproved = ref 0 in
+  let queries = ref 0 and memo_hits = ref 0 and skipped = ref 0 in
   let degraded = ref false in
-  let conflict a b =
-    incr total;
+  (* --- alias-class bucketing (sparse engine, DESIGN.md §11) ---
+     The points-to class of a memory instruction is the union-find class
+     of the abstract objects its pointer (for loads/stores) or its
+     mod/ref summary (for calls) reaches.  Disjoint classes cannot
+     depend: the alias stack would disprove every such pair anyway
+     (Andersen answers [No_alias] on disjoint object sets, and the
+     baseline's must/no answers — same-address, same-base offsets,
+     escaping allocas — all imply overlapping sets), so the pair is
+     counted as disproved without issuing a query. *)
+  let classify =
+    match pts with
+    | Some (r : Andersen.t) when not r.Andersen.degraded ->
+      let uf : (Andersen.obj, Andersen.obj) Hashtbl.t = Hashtbl.create 64 in
+      let rec ufind o =
+        match Hashtbl.find_opt uf o with
+        | None -> o
+        | Some p when p = o -> o
+        | Some p ->
+          let root = ufind p in
+          Hashtbl.replace uf o root;
+          root
+      in
+      let union a b =
+        let ra = ufind a and rb = ufind b in
+        if ra <> rb then Hashtbl.replace uf ra rb
+      in
+      let objs_for (i : Instr.inst) =
+        match i.Instr.op with
+        | Instr.Load p | Instr.Store (_, p) ->
+          let s = Andersen.objs_of r f p in
+          if Andersen.ObjSet.is_empty s || Andersen.ObjSet.mem Andersen.Oextern s
+          then None (* no information: must be queried against everything *)
+          else Some s
+        | Instr.Call _ -> (
+          match Andersen.call_touched r f i with
+          | None -> None
+          | Some (rd, wr) ->
+            let s = Andersen.ObjSet.union rd wr in
+            if Andersen.ObjSet.mem Andersen.Oextern s then None else Some s)
+        | _ -> None
+      in
+      let sets =
+        List.filter_map
+          (fun (i : Instr.inst) ->
+            Option.map (fun s -> (i.Instr.id, s)) (objs_for i))
+          mems
+      in
+      List.iter
+        (fun (_, s) ->
+          match Andersen.ObjSet.min_elt_opt s with
+          | None -> ()
+          | Some o0 -> Andersen.ObjSet.iter (fun o -> union o0 o) s)
+        sets;
+      let cls : (int, [ `Class of Andersen.obj | `Silent ]) Hashtbl.t =
+        Hashtbl.create 64
+      in
+      List.iter
+        (fun (id, s) ->
+          match Andersen.ObjSet.min_elt_opt s with
+          | None ->
+            (* touches no object at all (pure/alloc builtins): conflicts
+               with nothing, and the stack agrees *)
+            Hashtbl.replace cls id `Silent
+          | Some o0 -> Hashtbl.replace cls id (`Class (ufind o0)))
+        sets;
+      fun (i : Instr.inst) ->
+        (match Hashtbl.find_opt cls i.Instr.id with
+        | Some (`Class o) -> `Class (ufind o)
+        | Some `Silent -> `Silent
+        | None -> `Unknown)
+    | _ -> fun _ -> `Unknown
+  in
+  let bucket_skip a b =
+    match (classify a, classify b) with
+    | `Silent, _ | _, `Silent -> true
+    | `Class ra, `Class rb -> ra <> rb
+    | _ -> false
+  in
+  (* memoized alias-stack answers for load/store pairs, keyed on the
+     normalized pointer-value pair: phi-congruent operand pairs (and the
+     symmetric orientation) hit the stack once per build *)
+  let memo : (Instr.value * Instr.value, bool) Hashtbl.t = Hashtbl.create 64 in
+  let raw_query a b =
+    incr queries;
     match budget with
-    | Some bmax when !total > bmax ->
+    | Some bmax when !queries > bmax ->
       degraded := true;
       true (* budget exhausted: conservative may-dep, no alias query *)
     | _ -> Alias.may_conflict stack m f a b
+  in
+  let conflict (a : Instr.inst) (b : Instr.inst) =
+    incr total;
+    if !degraded then true
+    else if bucket_skip a b then begin
+      incr skipped;
+      false
+    end
+    else
+      match (a.Instr.op, b.Instr.op, Alias.pointer_operand a, Alias.pointer_operand b) with
+      | (Instr.Load _ | Instr.Store _), (Instr.Load _ | Instr.Store _), Some p1, Some p2 -> (
+        let key = if compare p1 p2 <= 0 then (p1, p2) else (p2, p1) in
+        match Hashtbl.find_opt memo key with
+        | Some ans ->
+          incr memo_hits;
+          ans
+        | None ->
+          let ans = raw_query a b in
+          (* a budget-exhausted conservative answer is not a stack fact:
+             do not memoize it *)
+          if not !degraded then Hashtbl.replace memo key ans;
+          ans)
+      | _ -> raw_query a b
   in
   (* self dependences: a writing instruction may conflict with its own
      dynamic instances across iterations (e.g. a store whose address is
@@ -162,6 +290,14 @@ let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f :
       pairs rest
   in
   pairs mems;
+  Trace.touch "pdg.pairs_skipped_bucketing";
+  Trace.touch "pdg.alias_memo_hits";
+  Trace.touch "pdg.alias_queries";
+  Trace.add "pdg.mem_pairs" !total;
+  Trace.add "pdg.alias_queries" !queries;
+  Trace.add "pdg.pairs_skipped_bucketing" !skipped;
+  Trace.add "pdg.alias_memo_hits" !memo_hits;
+  if !degraded then Trace.incr_m "pdg.degraded";
   {
     fdg = g;
     f;
@@ -169,6 +305,7 @@ let build ?budget ?(stack : Alias.stack = [ Alias.baseline ]) (m : Irmod.t) (f :
     stack;
     mem_pairs_total = !total;
     mem_pairs_disproved = !disproved;
+    mem_queries = !queries;
     degraded = !degraded;
   }
 
@@ -434,5 +571,6 @@ let of_embedded (m : Irmod.t) (f : Func.t) : t option =
           stack = [ Alias.baseline ];
           mem_pairs_total = total;
           mem_pairs_disproved = disproved;
+          mem_queries = 0;
           degraded = false;
         }

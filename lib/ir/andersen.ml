@@ -6,7 +6,16 @@
     interprocedural propagation through calls (including indirect calls
     resolved on the fly) and a mod/ref summary per function.  Plugged into
     the {!Alias} stack after the baseline analysis, it provides the extra
-    dependence disprovals measured in Figure 3. *)
+    dependence disprovals measured in Figure 3.
+
+    Two solvers share the constraint model (DESIGN.md §11): {!analyze} is
+    the production worklist solver — abstract objects are re-keyed to
+    dense ints, points-to sets are {!Bitset}s, and only *new* deltas are
+    propagated along copy/load/store edges, with copy-edge cycles
+    collapsed online into union-find representatives.  {!solve_naive} is
+    the original round-to-fixpoint solver, kept as the differential
+    oracle: both must produce bit-identical points-to sets and mod/ref
+    summaries. *)
 
 module SS = Set.Make (String)
 
@@ -37,6 +46,12 @@ type var =
   | Varg of string * int
   | Vret of string
   | Vmem of obj               (** contents of an abstract object *)
+
+let var_to_string = function
+  | Vreg (fn, x) -> Printf.sprintf "%s/%%%d" fn x
+  | Varg (fn, k) -> Printf.sprintf "%s/arg%d" fn k
+  | Vret fn -> Printf.sprintf "%s/ret" fn
+  | Vmem o -> Printf.sprintf "mem(%s)" (obj_to_string o)
 
 module VarMap = Hashtbl.Make (struct
   type t = var
@@ -85,8 +100,114 @@ let conservative (m : Irmod.t) : t =
 
 exception Budget_exhausted
 
-let analyze ?budget (m : Irmod.t) : t =
-  let sp = Trace.begin_span ~cat:"analysis" "andersen.analyze" in
+(* constraint-extraction helpers shared by both solvers *)
+
+let var_of f = function
+  | Instr.Reg x -> Some (Vreg (f, x))
+  | Instr.Arg k -> Some (Varg (f, k))
+  | _ -> None
+
+let const_objs m = function
+  | Instr.Glob g ->
+    if Irmod.func_opt m g <> None then ObjSet.singleton (Ofun g)
+    else ObjSet.singleton (Oglob g)
+  | _ -> ObjSet.empty
+
+(** Mod/ref summary phase, shared by both solvers: per function, direct
+    (reads, writes) object sets from the solved points-to facts, then a
+    transitive closure over the static callee sets into [r.touched]. *)
+let summarize (r : t) : unit =
+  let m = r.module_ in
+  let direct = Hashtbl.create 16 in
+  let callees_of = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      let fn = f.Func.fname in
+      let reads = ref ObjSet.empty and writes = ref ObjSet.empty in
+      let cs = ref SS.empty in
+      Func.iter_insts
+        (fun i ->
+          match i.Instr.op with
+          | Instr.Load p ->
+            let s = pts_of_value r f p in
+            reads := ObjSet.union !reads (if ObjSet.is_empty s then ObjSet.singleton Oextern else s)
+          | Instr.Store (_, p) ->
+            let s = pts_of_value r f p in
+            writes := ObjSet.union !writes (if ObjSet.is_empty s then ObjSet.singleton Oextern else s)
+          | Instr.Call (Instr.Glob g, _) ->
+            if List.mem g Alias.ordered_builtins then begin
+              (* ordered effects modelled as a pseudo-object so order
+                 dependence propagates through defined callees *)
+              reads := ObjSet.add ordered_obj !reads;
+              writes := ObjSet.add ordered_obj !writes
+            end
+            else if Irmod.func_opt m g <> None
+                    && not (List.mem g Alias.pure_builtins)
+                    && g <> "malloc" && g <> "free"
+            then cs := SS.add g !cs
+            else if Irmod.func_opt m g = None then begin
+              (* unknown external: conservative *)
+              if not (List.mem g Alias.pure_builtins || g = "malloc" || g = "free") then begin
+                reads := ObjSet.add Oextern !reads;
+                writes := ObjSet.add Oextern !writes
+              end
+            end
+          | Instr.Call (v, _) -> (
+            match pts_of_value r f v with
+            | s when ObjSet.is_empty s ->
+              reads := ObjSet.add Oextern !reads;
+              writes := ObjSet.add Oextern !writes
+            | s ->
+              ObjSet.iter
+                (function
+                  | Ofun g -> cs := SS.add g !cs
+                  | _ ->
+                    reads := ObjSet.add Oextern !reads;
+                    writes := ObjSet.add Oextern !writes)
+                s)
+          | _ -> ())
+        f;
+      Hashtbl.replace direct fn (!reads, !writes);
+      Hashtbl.replace callees_of fn !cs)
+    (Irmod.defined_functions m);
+  (* transitive closure over the (static) callee sets *)
+  let summary = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Func.t) ->
+      Hashtbl.replace summary f.Func.fname (Hashtbl.find direct f.Func.fname))
+    (Irmod.defined_functions m);
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Hashtbl.iter
+      (fun fn cs ->
+        let r0, w0 = Hashtbl.find summary fn in
+        let r', w' =
+          SS.fold
+            (fun g (ra, wa) ->
+              match Hashtbl.find_opt summary g with
+              | Some (rg, wg) -> (ObjSet.union ra rg, ObjSet.union wa wg)
+              | None -> (ObjSet.add Oextern ra, ObjSet.add Oextern wa))
+            cs (r0, w0)
+        in
+        if not (ObjSet.equal r' r0 && ObjSet.equal w' w0) then begin
+          Hashtbl.replace summary fn (r', w');
+          changed := true
+        end)
+      callees_of
+  done;
+  Hashtbl.iter (fun k v -> Hashtbl.replace r.touched k v) summary
+
+(* ------------------------------------------------------------------ *)
+(* Naive solver (differential oracle)                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** The original round-based fixpoint over [ObjSet]s.  Quadratic-ish in
+    practice (every round re-walks every constraint with full sets); kept
+    as the oracle the worklist solver is differentially tested against
+    and as the "old path" of the scaling benchmark. *)
+let solve_naive ?budget (m : Irmod.t) : t =
+  let sp = Trace.begin_span ~cat:"analysis" "andersen.solve_naive" in
   let constraints = ref 0 in
   let rounds = ref 0 in
   let steps = ref 0 in
@@ -134,17 +255,6 @@ let analyze ?budget (m : Irmod.t) : t =
   let loads = ref [] (* (ptr var, dst var) *) in
   let stores = ref [] (* (src var option, const objs, ptr var) *) in
   let calls = ref [] (* (caller fname, inst, callee value, args) *) in
-  let var_of f = function
-    | Instr.Reg x -> Some (Vreg (f, x))
-    | Instr.Arg k -> Some (Varg (f, k))
-    | _ -> None
-  in
-  let const_objs m = function
-    | Instr.Glob g ->
-      if Irmod.func_opt m g <> None then ObjSet.singleton (Ofun g)
-      else ObjSet.singleton (Oglob g)
-    | _ -> ObjSet.empty
-  in
   List.iter
     (fun (f : Func.t) ->
       let fn = f.Func.fname in
@@ -242,89 +352,411 @@ let analyze ?budget (m : Irmod.t) : t =
           | None -> ()))
       !calls
   done;
-  (* mod/ref summaries: per function, transitive (reads, writes) *)
   let r = { pts; touched = Hashtbl.create 16; module_ = m; degraded = false } in
-  let direct = Hashtbl.create 16 in
-  let callees_of = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Func.t) ->
-      let fn = f.Func.fname in
-      let reads = ref ObjSet.empty and writes = ref ObjSet.empty in
-      let cs = ref SS.empty in
-      Func.iter_insts
-        (fun i ->
-          match i.Instr.op with
-          | Instr.Load p ->
-            let s = pts_of_value r f p in
-            reads := ObjSet.union !reads (if ObjSet.is_empty s then ObjSet.singleton Oextern else s)
-          | Instr.Store (_, p) ->
-            let s = pts_of_value r f p in
-            writes := ObjSet.union !writes (if ObjSet.is_empty s then ObjSet.singleton Oextern else s)
-          | Instr.Call (Instr.Glob g, _) ->
-            if List.mem g Alias.ordered_builtins then begin
-              (* ordered effects modelled as a pseudo-object so order
-                 dependence propagates through defined callees *)
-              reads := ObjSet.add ordered_obj !reads;
-              writes := ObjSet.add ordered_obj !writes
-            end
-            else if Irmod.func_opt m g <> None
-                    && not (List.mem g Alias.pure_builtins)
-                    && g <> "malloc" && g <> "free"
-            then cs := SS.add g !cs
-            else if Irmod.func_opt m g = None then begin
-              (* unknown external: conservative *)
-              if not (List.mem g Alias.pure_builtins || g = "malloc" || g = "free") then begin
-                reads := ObjSet.add Oextern !reads;
-                writes := ObjSet.add Oextern !writes
-              end
-            end
-          | Instr.Call (v, _) -> (
-            match pts_of_value r f v with
-            | s when ObjSet.is_empty s ->
-              reads := ObjSet.add Oextern !reads;
-              writes := ObjSet.add Oextern !writes
-            | s ->
-              ObjSet.iter
-                (function
-                  | Ofun g -> cs := SS.add g !cs
-                  | _ ->
-                    reads := ObjSet.add Oextern !reads;
-                    writes := ObjSet.add Oextern !writes)
-                s)
-          | _ -> ())
-        f;
-      Hashtbl.replace direct fn (!reads, !writes);
-      Hashtbl.replace callees_of fn !cs)
-    (Irmod.defined_functions m);
-  (* transitive closure over the (static) callee sets *)
-  let summary = Hashtbl.create 16 in
-  List.iter
-    (fun (f : Func.t) ->
-      Hashtbl.replace summary f.Func.fname (Hashtbl.find direct f.Func.fname))
-    (Irmod.defined_functions m);
-  let changed = ref true in
-  while !changed do
-    changed := false;
-    Hashtbl.iter
-      (fun fn cs ->
-        let r0, w0 = Hashtbl.find summary fn in
-        let r', w' =
-          SS.fold
-            (fun g (ra, wa) ->
-              match Hashtbl.find_opt summary g with
-              | Some (rg, wg) -> (ObjSet.union ra rg, ObjSet.union wa wg)
-              | None -> (ObjSet.add Oextern ra, ObjSet.add Oextern wa))
-            cs (r0, w0)
-        in
-        if not (ObjSet.equal r' r0 && ObjSet.equal w' w0) then begin
-          Hashtbl.replace summary fn (r', w');
-          changed := true
-        end)
-      callees_of
-  done;
-  Hashtbl.iter (fun k v -> Hashtbl.replace r.touched k v) summary;
+  summarize r;
   finish r
   with Budget_exhausted -> finish (conservative m)
+
+(* ------------------------------------------------------------------ *)
+(* Worklist solver (sparse engine, DESIGN.md §11)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Worklist solver with difference propagation: variables and abstract
+    objects are interned to dense ints, each node carries a {!Bitset}
+    points-to set plus a *delta* set of not-yet-propagated objects, and
+    popping a node pushes only its delta along copy edges / dereference
+    attachments.  When a propagation is a no-op between nodes with equal
+    sets, lazy cycle detection walks the copy graph and collapses the
+    cycle into one union-find representative.  Results are converted back
+    to the shared [ObjSet] representation, so downstream consumers (and
+    the differential tests against {!solve_naive}) see no difference. *)
+let analyze ?budget (m : Irmod.t) : t =
+  let sp = Trace.begin_span ~cat:"analysis" "andersen.analyze" in
+  let constraints = ref 0 in
+  let delta_props = ref 0 in
+  let cycles = ref 0 in
+  let steps = ref 0 in
+  let tick () =
+    incr constraints;
+    match budget with
+    | Some b ->
+      incr steps;
+      if !steps > b then raise Budget_exhausted
+    | None -> ()
+  in
+  let finish r =
+    Trace.touch "andersen.delta_props";
+    Trace.touch "andersen.cycles_collapsed";
+    Trace.add "andersen.constraints" !constraints;
+    Trace.add "andersen.delta_props" !delta_props;
+    Trace.add "andersen.cycles_collapsed" !cycles;
+    Trace.tag sp "constraints" (string_of_int !constraints);
+    Trace.tag sp "delta_props" (string_of_int !delta_props);
+    Trace.tag sp "cycles_collapsed" (string_of_int !cycles);
+    if r.degraded then begin
+      Trace.incr_m "andersen.degraded";
+      Trace.tag sp "degraded" "true"
+    end;
+    Trace.end_span sp;
+    r
+  in
+  try
+    (* -- object interning: obj <-> dense int -- *)
+    let otab : (obj, int) Hashtbl.t = Hashtbl.create 256 in
+    let obj_arr = ref (Array.make 64 Oextern) in
+    let nobjs = ref 0 in
+    let obj_id o =
+      match Hashtbl.find_opt otab o with
+      | Some i -> i
+      | None ->
+        let i = !nobjs in
+        if i >= Array.length !obj_arr then begin
+          let a = Array.make (2 * Array.length !obj_arr) Oextern in
+          Array.blit !obj_arr 0 a 0 i;
+          obj_arr := a
+        end;
+        !obj_arr.(i) <- o;
+        Hashtbl.replace otab o i;
+        incr nobjs;
+        i
+    in
+    (* -- node state: growable parallel arrays indexed by interned var -- *)
+    let cap = ref 256 in
+    let pts = ref (Array.init !cap (fun _ -> Bitset.create ())) in
+    let dif = ref (Array.init !cap (fun _ -> Bitset.create ())) in
+    let csucc = ref (Array.make !cap ([] : int list)) in
+    let loads_of = ref (Array.make !cap ([] : int list)) in
+    let stores_of = ref (Array.make !cap ([] : (int option * Bitset.t) list)) in
+    let calls_of =
+      ref (Array.make !cap ([] : (string * Instr.inst * Instr.value list) list))
+    in
+    let parent = ref (Array.make !cap 0) in
+    let inwork = ref (Array.make !cap false) in
+    let nnodes = ref 0 in
+    let grow () =
+      let old = !cap in
+      let cap' = 2 * old in
+      let extend a mk =
+        let b = Array.init cap' (fun i -> if i < old then a.(i) else mk i) in
+        b
+      in
+      pts := extend !pts (fun _ -> Bitset.create ());
+      dif := extend !dif (fun _ -> Bitset.create ());
+      csucc := extend !csucc (fun _ -> []);
+      loads_of := extend !loads_of (fun _ -> []);
+      stores_of := extend !stores_of (fun _ -> []);
+      calls_of := extend !calls_of (fun _ -> []);
+      parent := extend !parent (fun i -> i);
+      inwork := extend !inwork (fun _ -> false);
+      cap := cap'
+    in
+    let vtab : int VarMap.t = VarMap.create 256 in
+    let node_of (v : var) =
+      match VarMap.find_opt vtab v with
+      | Some n -> n
+      | None ->
+        let n = !nnodes in
+        if n >= !cap then grow ();
+        !parent.(n) <- n;
+        VarMap.replace vtab v n;
+        incr nnodes;
+        n
+    in
+    let rec find n =
+      let p = !parent.(n) in
+      if p = n then n
+      else begin
+        let r = find p in
+        !parent.(n) <- r;
+        r
+      end
+    in
+    let vmem_node o = node_of (Vmem !obj_arr.(o)) in
+    let work : int Queue.t = Queue.create () in
+    let push n =
+      let n = find n in
+      if not !inwork.(n) then begin
+        !inwork.(n) <- true;
+        Queue.add n work
+      end
+    in
+    (* seed one object / a set of objects into a node's points-to set *)
+    let add_obj n oid =
+      tick ();
+      let n = find n in
+      if Bitset.add !pts.(n) oid then begin
+        ignore (Bitset.add !dif.(n) oid);
+        push n
+      end
+    in
+    let add_objs n (s : Bitset.t) =
+      if not (Bitset.is_empty s) then begin
+        tick ();
+        let n = find n in
+        let added = Bitset.union_into ~track:!dif.(n) ~into:!pts.(n) s in
+        if added > 0 then begin
+          delta_props := !delta_props + added;
+          push n
+        end
+      end
+    in
+    let bits_of_objset (s : ObjSet.t) =
+      let b = Bitset.create () in
+      ObjSet.iter (fun o -> ignore (Bitset.add b (obj_id o))) s;
+      b
+    in
+    (* copy edge src -> dst: dedup'd on original node ids; on creation the
+       source's *current* set flows immediately, future objects arrive via
+       delta propagation *)
+    let copies : (int * int, unit) Hashtbl.t = Hashtbl.create 1024 in
+    let add_copy src dst =
+      tick ();
+      if not (Hashtbl.mem copies (src, dst)) then begin
+        Hashtbl.replace copies (src, dst) ();
+        let s = find src and d = find dst in
+        if s <> d then begin
+          !csucc.(s) <- d :: !csucc.(s);
+          let added = Bitset.union_into ~track:!dif.(d) ~into:!pts.(d) !pts.(s) in
+          if added > 0 then begin
+            delta_props := !delta_props + added;
+            push d
+          end
+        end
+      end
+    in
+    let add_objset n s = add_objs n (bits_of_objset s) in
+    (* indirect/direct call wiring, dedup'd per (caller, site, callee) *)
+    let wired = Hashtbl.create 64 in
+    let wire caller (i : Instr.inst) callee args =
+      let key = (caller, i.Instr.id, callee) in
+      if not (Hashtbl.mem wired key) then begin
+        Hashtbl.replace wired key ();
+        match Irmod.func_opt m callee with
+        | Some g when not g.Func.is_declaration ->
+          List.iteri
+            (fun k v ->
+              if k < Array.length g.Func.params then begin
+                let an = node_of (Varg (callee, k)) in
+                (match var_of caller v with
+                | Some s -> add_copy (node_of s) an
+                | None -> ());
+                add_objset an (const_objs m v)
+              end)
+            args;
+          add_copy (node_of (Vret callee)) (node_of (Vreg (caller, i.Instr.id)))
+        | _ -> ()
+      end
+    in
+    (* collapse the copy cycle through [target] confirmed by a path
+       [start] ->* [target]; every node on the path joins [target]'s
+       union-find class, and the representative reprocesses its full set
+       so absorbed attachments and successors see every object *)
+    let merge_into target u =
+      let u = find u and target = find target in
+      if u <> target then begin
+        !parent.(u) <- target;
+        ignore (Bitset.union_into ~into:!pts.(target) !pts.(u));
+        !csucc.(target) <- List.rev_append !csucc.(u) !csucc.(target);
+        !loads_of.(target) <- List.rev_append !loads_of.(u) !loads_of.(target);
+        !stores_of.(target) <- List.rev_append !stores_of.(u) !stores_of.(target);
+        !calls_of.(target) <- List.rev_append !calls_of.(u) !calls_of.(target);
+        incr cycles
+      end
+    in
+    let collapse_cycle target start =
+      let visited = Hashtbl.create 16 in
+      let rec dfs cur acc =
+        if Hashtbl.mem visited cur then None
+        else begin
+          Hashtbl.replace visited cur ();
+          let rec try_succs = function
+            | [] -> None
+            | x :: rest -> (
+              let x = find x in
+              if x = target then Some (cur :: acc)
+              else
+                match dfs x (cur :: acc) with
+                | Some p -> Some p
+                | None -> try_succs rest)
+          in
+          try_succs !csucc.(cur)
+        end
+      in
+      match dfs (find start) [] with
+      | None -> ()
+      | Some cycle_nodes ->
+        List.iter (fun u -> merge_into target u) cycle_nodes;
+        !dif.(target) <- Bitset.copy !pts.(target);
+        push target
+    in
+    (* -- constraint extraction (direct calls wired eagerly; loads, stores
+          and indirect calls attach to their pointer node and fire as
+          objects reach it) -- *)
+    List.iter
+      (fun (f : Func.t) ->
+        let fn = f.Func.fname in
+        Func.iter_insts
+          (fun i ->
+            let dst = node_of (Vreg (fn, i.Instr.id)) in
+            let flow v =
+              (match var_of fn v with
+              | Some src -> add_copy (node_of src) dst
+              | None -> ());
+              add_objset dst (const_objs m v)
+            in
+            match i.Instr.op with
+            | Instr.Alloca _ -> add_obj dst (obj_id (Oalloca (fn, i.Instr.id)))
+            | Instr.Gep (p, _) -> flow p
+            | Instr.Cast (Instr.Inttoptr, _) -> add_obj dst (obj_id Oextern)
+            | Instr.Cast (_, v) -> flow v
+            | Instr.Phi incs -> List.iter (fun (_, v) -> flow v) incs
+            | Instr.Select (_, a, b) ->
+              flow a;
+              flow b
+            | Instr.Load p -> (
+              match var_of fn p with
+              | Some pv ->
+                let pn = find (node_of pv) in
+                !loads_of.(pn) <- dst :: !loads_of.(pn)
+              | None ->
+                ObjSet.iter
+                  (fun o -> add_copy (vmem_node (obj_id o)) dst)
+                  (const_objs m p))
+            | Instr.Store (v, p) -> (
+              let src = Option.map (fun s -> node_of s) (var_of fn v) in
+              let cobjs = bits_of_objset (const_objs m v) in
+              match var_of fn p with
+              | Some pv ->
+                let pn = find (node_of pv) in
+                !stores_of.(pn) <- (src, cobjs) :: !stores_of.(pn)
+              | None ->
+                ObjSet.iter
+                  (fun o ->
+                    let mn = vmem_node (obj_id o) in
+                    (match src with Some s -> add_copy s mn | None -> ());
+                    add_objs mn cobjs)
+                  (const_objs m p))
+            | Instr.Call (Instr.Glob "malloc", _) ->
+              add_obj dst (obj_id (Omalloc (fn, i.Instr.id)))
+            | Instr.Call (Instr.Glob g, args) -> wire fn i g args
+            | Instr.Call (v, args) -> (
+              match var_of fn v with
+              | Some cv ->
+                let cn = find (node_of cv) in
+                !calls_of.(cn) <- (fn, i, args) :: !calls_of.(cn)
+              | None -> ())
+            | Instr.Ret (Some v) ->
+              let rn = node_of (Vret fn) in
+              (match var_of fn v with
+              | Some s -> add_copy (node_of s) rn
+              | None -> ());
+              add_objset rn (const_objs m v)
+            | _ -> ())
+          f)
+      (Irmod.defined_functions m);
+    (* -- worklist: pop a node, push its delta through attachments and
+          copy successors -- *)
+    let lcd_done : (int * int, unit) Hashtbl.t = Hashtbl.create 64 in
+    while not (Queue.is_empty work) do
+      let n0 = Queue.pop work in
+      let n = find n0 in
+      if n <> n0 then !inwork.(n0) <- false
+      else begin
+        !inwork.(n) <- false;
+        let d = !dif.(n) in
+        if not (Bitset.is_empty d) then begin
+          !dif.(n) <- Bitset.create ();
+          (* dereference attachments on the new objects *)
+          if !loads_of.(n) <> [] || !stores_of.(n) <> [] || !calls_of.(n) <> []
+          then
+            Bitset.iter
+              (fun o ->
+                List.iter (fun ldst -> add_copy (vmem_node o) ldst) !loads_of.(n);
+                List.iter
+                  (fun (src, cobjs) ->
+                    let mn = vmem_node o in
+                    (match src with Some s -> add_copy s mn | None -> ());
+                    add_objs mn cobjs)
+                  !stores_of.(n);
+                match !obj_arr.(o) with
+                | Ofun g ->
+                  List.iter
+                    (fun (caller, i, args) -> wire caller i g args)
+                    !calls_of.(n)
+                | _ -> ())
+              d;
+          (* difference propagation along copy successors, with lazy
+             cycle detection on saturated edges *)
+          List.iter
+            (fun s0 ->
+              let s = find s0 in
+              if s <> n then begin
+                tick ();
+                let added = Bitset.union_into ~track:!dif.(s) ~into:!pts.(s) d in
+                if added > 0 then begin
+                  delta_props := !delta_props + added;
+                  push s
+                end
+                else if
+                  (not (Bitset.is_empty !pts.(n)))
+                  && Bitset.equal !pts.(n) !pts.(s)
+                  && not (Hashtbl.mem lcd_done (n, s))
+                then begin
+                  Hashtbl.replace lcd_done (n, s) ();
+                  collapse_cycle n s
+                end
+              end)
+            !csucc.(n)
+        end
+      end
+    done;
+    (* -- convert the dense solution back to the shared representation -- *)
+    let ptsmap : ObjSet.t VarMap.t = VarMap.create 256 in
+    VarMap.iter
+      (fun v n ->
+        let s = !pts.(find n) in
+        if not (Bitset.is_empty s) then
+          VarMap.replace ptsmap v
+            (Bitset.fold (fun o acc -> ObjSet.add !obj_arr.(o) acc) s ObjSet.empty))
+      vtab;
+    let r = { pts = ptsmap; touched = Hashtbl.create 16; module_ = m; degraded = false } in
+    summarize r;
+    finish r
+  with Budget_exhausted -> finish (conservative m)
+
+(* ------------------------------------------------------------------ *)
+(* Solution rendering and fingerprinting                               *)
+(* ------------------------------------------------------------------ *)
+
+(** The solution as sorted "var -> {objs}" lines (non-empty bindings
+    only) — the canonical form the differential tests compare. *)
+let dump_pts (r : t) : string list =
+  VarMap.fold
+    (fun v s acc ->
+      if ObjSet.is_empty s then acc
+      else (var_to_string v ^ " -> " ^ objset_to_string s) :: acc)
+    r.pts []
+  |> List.sort compare
+
+(** Mod/ref summaries as sorted lines. *)
+let dump_touched (r : t) : string list =
+  Hashtbl.fold
+    (fun fn (rd, wr) acc ->
+      Printf.sprintf "%s reads %s writes %s" fn (objset_to_string rd)
+        (objset_to_string wr)
+      :: acc)
+    r.touched []
+  |> List.sort compare
+
+(** Deterministic fingerprint of the whole solution (points-to bindings,
+    mod/ref summaries, degradation flag) — the stamp the {!Noelle}
+    manager keys incremental invalidation on: a cached PDG computed under
+    an equal solution fingerprint is still exact. *)
+let solution_fp (r : t) : string =
+  let st = List.fold_left Fingerprint.feed Fingerprint.seed (dump_pts r) in
+  let st = List.fold_left Fingerprint.feed st (dump_touched r) in
+  let st = Fingerprint.feed st (if r.degraded then "degraded" else "ok") in
+  Fingerprint.to_hex st
 
 (* ------------------------------------------------------------------ *)
 (* Alias-stack plug-in                                                 *)

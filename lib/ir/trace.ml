@@ -132,6 +132,13 @@ let counter_ref name =
     Hashtbl.replace registry name (Counter r);
     r
 
+(** Register counter [name] (at 0) without incrementing it; no-op when
+    disabled.  Instrumentation sites call this so that a counter whose
+    value happens to be zero still appears in metric dumps — consumers
+    (e.g. [noelle-trace --check]) can then tell "measured as zero" apart
+    from "never instrumented". *)
+let touch name = if !on then ignore (counter_ref name)
+
 (** Add [n] (>= 0) to monotonic counter [name]; no-op when disabled. *)
 let add name n =
   if !on && n > 0 then begin
