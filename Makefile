@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta trace bench-json bench-gate
+.PHONY: check build test faultcheck lint verify-meta trace validate bench-json bench-gate
 
 build:
 	dune build
@@ -33,6 +33,14 @@ verify-meta: build
 trace: build
 	dune exec bin/noelle_trace.exe -- --kernel histogram --check -q
 
+# translation validation (DESIGN.md §12): the full pass stack must clear
+# the trace-equivalence gate on every kernel with zero rollbacks, every
+# parallel schedule must replay-validate against its sequential trace, and
+# every planted effect reorder must be rejected with an event-diff witness
+# that the legacy output-compare gate provably misses
+validate: build
+	dune exec bin/noelle_validate.exe -- --seeds 10 -q
+
 # machine-readable benchmark rows (wall ms + counter deltas per kernel),
 # plus the synthetic scaling comparison of the sparse analysis engine
 # against the naive solver/builder paths (DESIGN.md §11)
@@ -49,4 +57,4 @@ bench-gate: bench-json
 	grep -q '"andersen.delta_props"' BENCH_scaling.json
 	! grep -q 'degraded' BENCH_figure3.json BENCH_scaling.json
 
-check: build test faultcheck lint verify-meta trace bench-gate
+check: build test faultcheck lint verify-meta trace validate bench-gate

@@ -6,7 +6,8 @@
 open Cmdliner
 
 let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
-    analysis_budget check_races verify_meta output quiet =
+    analysis_budget check_races verify_meta legacy_differential trace_diff
+    output quiet =
   let m =
     match (input, fuzz_seed) with
     | Some f, _ -> Ir.Parser.parse_file f
@@ -20,9 +21,17 @@ let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   let report =
     Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ~check_races
-      ?analysis_budget ~verify_meta m
+      ?analysis_budget ~verify_meta ~legacy_differential m
   in
   print_string (Noelle.Pipeline.report_to_string report);
+  if trace_diff then
+    List.iter
+      (fun (e : Noelle.Pipeline.entry) ->
+        if e.Noelle.Pipeline.etrace_diff <> [] then begin
+          Printf.printf "%s: event-diff witness:\n" e.Noelle.Pipeline.epass;
+          List.iter print_endline e.Noelle.Pipeline.etrace_diff
+        end)
+      report.Noelle.Pipeline.entries;
   (* demonstrate degraded-mode parallel execution on the surviving module *)
   let fault =
     match (psim_fault_seed, persistent_tid) with
@@ -78,6 +87,14 @@ let verify_meta =
          ~doc:"metadata trust gate: quarantine embedded analysis artifacts \
                invalidated by each committed pass, re-embed fresh ones at \
                the end, and fail unless the final module audits clean")
+let legacy_differential =
+  Arg.(value & flag & info [ "legacy-differential" ]
+         ~doc:"escape hatch: differential gate compares exit value and flat \
+               output only, ignoring observable-event traces")
+let trace_diff =
+  Arg.(value & flag & info [ "trace-diff" ]
+         ~doc:"print the minimal event-diff witness of every trace-gate \
+               rollback after the report")
 let output = Arg.(value & opt (some string) None & info [ "o" ] ~docv:"OUT.ir")
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress program output")
 
@@ -86,6 +103,7 @@ let cmd =
     (Cmd.info "noelle-pipeline"
        ~doc:"Transactional pass pipeline with verification and differential gates")
     Term.(const run $ input $ fuzz_seed $ inputs $ fuel $ inject_seed $ psim_fault_seed
-          $ persistent_tid $ analysis_budget $ check_races $ verify_meta $ output $ quiet)
+          $ persistent_tid $ analysis_budget $ check_races $ verify_meta
+          $ legacy_differential $ trace_diff $ output $ quiet)
 
 let () = exit (Cmd.eval' cmd)

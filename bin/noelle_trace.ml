@@ -51,18 +51,21 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
     metrics_out
     (List.length (Noelle.Telemetry.metrics ()));
   List.iter (fun (cat, n) -> Printf.printf "  layer %-10s %d spans\n" cat n) layers;
-  (* the sparse analysis engine (DESIGN.md §11) must have been exercised:
-     its counters are registered (possibly at zero) whenever the worklist
-     solver, the bucketed PDG builder and fingerprint-keyed invalidation
-     actually ran, so their absence means a silent fallback to a slow or
-     stale path *)
+  (* the sparse analysis engine (DESIGN.md §11) and the observable-event
+     oracle (§12) must have been exercised: their counters are registered
+     (possibly at zero) whenever the worklist solver, the bucketed PDG
+     builder, fingerprint-keyed invalidation, the trace-equivalence gate
+     and the Psim replay protocol actually ran, so a missing counter
+     means a silent fallback to a slow, stale or weaker path *)
   let metric_names = List.map fst (Noelle.Telemetry.metrics ()) in
   let missing =
     List.filter
       (fun c -> not (List.mem c metric_names))
       [ "andersen.delta_props"; "andersen.cycles_collapsed";
         "pdg.pairs_skipped_bucketing"; "pdg.alias_memo_hits";
-        "noelle.invalidate.kept" ]
+        "noelle.invalidate.kept";
+        "obs.events"; "obs.trace_compares"; "obs.reorders_rejected";
+        "psim.replay_validated" ]
   in
   Noelle.Telemetry.uninstall ();
   if check && List.length layers < 3 then begin
@@ -73,7 +76,7 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
     1
   end
   else if check && missing <> [] then begin
-    Printf.eprintf "noelle-trace: sparse-engine counters missing: %s\n"
+    Printf.eprintf "noelle-trace: required counters missing: %s\n"
       (String.concat ", " missing);
     1
   end

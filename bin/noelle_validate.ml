@@ -1,0 +1,155 @@
+(** noelle-validate — translation-validation sweep over the benchmark
+    corpus (DESIGN.md §12).
+
+    Three gates, all of which must hold for exit 0:
+
+    1. The standard pass stack clears the trace-equivalence differential
+       gate on every kernel with {e zero} rollbacks and a behaviourally
+       clean final module.
+    2. The parallel schedule of every transformed kernel replay-validates
+       against the sequential trace of the pristine kernel
+       ({!Psim.Runtime.replay_validate}).
+    3. Planted [Effect_reorder] faults (seeded fuzz programs with global
+       arrays) are rejected by the trace gate with a minimal event-diff
+       witness — while the legacy output-compare gate, run on the same
+       corrupted module, commits it.  The sweep fails if no seed yields a
+       plantable site (a vacuous pass is a failure, not a success). *)
+
+open Cmdliner
+
+let reorder_pass seed : Noelle.Pipeline.pass =
+  {
+    Noelle.Pipeline.pname = Printf.sprintf "effect-reorder-%d" seed;
+    papply =
+      (fun m ->
+        match
+          Ir.Faultgen.inject ~kinds:Ir.Faultgen.observable_kinds ~seed m
+        with
+        | Some d -> d
+        | None -> "no site");
+    plicense = Ir.Obs.Exact;
+  }
+
+let run limit seeds fuel quiet =
+  let say fmt =
+    Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* -- gate 1 + 2: corpus sweep under the trace gate, then replay -- *)
+  let kernels =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) Bsuite.Kernels.all
+    | None -> Bsuite.Kernels.all
+  in
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) ->
+      let original = Bsuite.Kernels.compile k in
+      let m = Bsuite.Kernels.compile k in
+      (* per-kernel budget, with the same parallel-simulation headroom the
+         bench harness grants (a parallel run burns fuel on every task) *)
+      let kfuel = 4 * k.Bsuite.Kernels.fuel in
+      let report = Ntools.Passes.run_standard ~fuel:kfuel m in
+      let committed = List.length (Noelle.Pipeline.committed report) in
+      let bad =
+        List.filter
+          (fun (e : Noelle.Pipeline.entry) ->
+            match e.Noelle.Pipeline.eoutcome with
+            | Noelle.Pipeline.Committed _ -> false
+            | _ -> true)
+          report.Noelle.Pipeline.entries
+      in
+      List.iter
+        (fun (e : Noelle.Pipeline.entry) ->
+          fail "%s: pass %s: %s" k.Bsuite.Kernels.kname e.Noelle.Pipeline.epass
+            (Noelle.Pipeline.outcome_to_string e.Noelle.Pipeline.eoutcome))
+        bad;
+      if not report.Noelle.Pipeline.final_ok then
+        fail "%s: final module NOT ok" k.Bsuite.Kernels.kname;
+      let replay =
+        Psim.Runtime.replay_validate ~fuel:kfuel
+          ~license:Ir.Obs.Permute_iterations ~original m
+      in
+      (match replay with
+      | Ok () -> ()
+      | Error (reason, witness) ->
+        fail "%s: replay validation: %s" k.Bsuite.Kernels.kname reason;
+        if not quiet then List.iter print_endline witness);
+      say "%-16s %d/%d passes committed, replay %s\n" k.Bsuite.Kernels.kname
+        committed
+        (List.length report.Noelle.Pipeline.entries)
+        (match replay with Ok () -> "validated" | Error _ -> "REJECTED"))
+    kernels;
+  (* -- gate 3: planted effect reorders over seeded fuzz programs -- *)
+  let planted = ref 0 and caught = ref 0 and legacy_missed = ref 0 in
+  for seed = 1 to seeds do
+    let src = Bsuite.Generator.program seed in
+    let name = Printf.sprintf "fuzz%d" seed in
+    let probe = Minic.Lower.compile ~name src in
+    match
+      Ir.Faultgen.inject ~kinds:Ir.Faultgen.observable_kinds ~seed probe
+    with
+    | None -> ()
+    | Some desc ->
+      incr planted;
+      let config = { Noelle.Pipeline.default_config with Noelle.Pipeline.fuel } in
+      let m = Minic.Lower.compile ~name src in
+      let r = Noelle.Pipeline.run ~config m [ reorder_pass seed ] in
+      (match r.Noelle.Pipeline.entries with
+      | [ e ] -> (
+        match e.Noelle.Pipeline.eoutcome with
+        | Noelle.Pipeline.Rolled_back _
+          when e.Noelle.Pipeline.etrace_diff <> [] ->
+          incr caught;
+          say "seed %-3d %s: rejected with witness\n" seed desc
+        | o ->
+          fail "seed %d: %s: trace gate said %s (witness %d lines)" seed desc
+            (Noelle.Pipeline.outcome_to_string o)
+            (List.length e.Noelle.Pipeline.etrace_diff))
+      | _ -> fail "seed %d: expected one entry" seed);
+      let legacy_config =
+        { config with Noelle.Pipeline.legacy_differential = true }
+      in
+      let m' = Minic.Lower.compile ~name src in
+      let r' = Noelle.Pipeline.run ~config:legacy_config m' [ reorder_pass seed ] in
+      (match r'.Noelle.Pipeline.entries with
+      | [ { Noelle.Pipeline.eoutcome = Noelle.Pipeline.Committed _; _ } ] ->
+        incr legacy_missed
+      | _ -> fail "seed %d: legacy output gate unexpectedly caught %s" seed desc)
+  done;
+  if !planted = 0 then
+    fail "no Effect_reorder site in %d fuzz seeds: the sweep proved nothing"
+      seeds;
+  say
+    "effect-reorder sweep: %d planted, %d caught by the trace gate, %d \
+     missed by the legacy gate\n"
+    !planted !caught !legacy_missed;
+  if !failures = [] then begin
+    say "validate: %d kernels clean, trace gate strictly stronger\n"
+      (List.length kernels);
+    0
+  end
+  else begin
+    List.iter (Printf.eprintf "noelle-validate: %s\n") (List.rev !failures);
+    1
+  end
+
+let limit =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+         ~doc:"validate only the first $(docv) kernels")
+let seeds =
+  Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N"
+         ~doc:"fuzz seeds to sweep for planted effect reorders")
+let fuel =
+  Arg.(value & opt int 3_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"interpreter fuel per fuzz-program differential run (kernels \
+               use their own per-kernel budget)")
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only report failures")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-validate"
+       ~doc:"Translation validation: trace-equivalence gates over the corpus")
+    Term.(const run $ limit $ seeds $ fuel $ quiet)
+
+let () = exit (Cmd.eval' cmd)

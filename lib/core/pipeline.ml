@@ -30,6 +30,9 @@ type entry = {
   eoutcome : outcome;
   einjected : string option; (** fault injected into this pass's output *)
   ediff : string list;       (** structural diff of a rejected change *)
+  etrace_diff : string list;
+      (** minimal event-diff witness when the trace-equivalence gate
+          rejected the change ([noelle-pipeline --trace-diff]) *)
   emeta : string list;
       (** embedded artifacts quarantined at commit by the metadata trust
           gate ({!config.verify_meta_gate}) *)
@@ -40,18 +43,32 @@ type report = {
   final_ok : bool; (** the surviving module still clears both gates *)
 }
 
-(** How the differential gate executes a module: [Ok observable] on normal
-    termination (exit value + program output rendered as one string) or
-    [Error trap_message].  The default is the sequential interpreter;
-    drivers whose passes produce parallel modules plug in a Psim-backed
-    executor instead. *)
-type exec = Irmod.t -> args:int list -> fuel:int -> (string, string) result
+(** One observed execution: the legacy observable (exit value + program
+    output rendered as one string, or the trap message) plus the
+    observable-event trace ({!Ir.Obs}) the run emitted.  The trace gate
+    checks both — trace equivalence subsumes nothing the output compare
+    sees (float printing rounds differently in events), so "strictly
+    stronger" is by construction. *)
+type behaviour = {
+  bresult : (string, string) result;
+  btrace : Obs.trace;
+}
+
+(** How the differential gate executes a module.  The default is the
+    sequential interpreter under an event recorder; drivers whose passes
+    produce parallel modules plug in a Psim-backed executor instead. *)
+type exec = Irmod.t -> args:int list -> fuel:int -> behaviour
 
 let interp_exec : exec =
  fun m ~args ~fuel ->
-  match Interp.run ~args ~fuel m with
-  | v, out -> Ok (Printf.sprintf "exit=%s\n%s" (Interp.v_to_string v) out)
-  | exception Interp.Trap msg -> Error msg
+  let res, out, tr = Obs.run ~args ~fuel m in
+  {
+    bresult =
+      (match res with
+      | Ok v -> Ok (Printf.sprintf "exit=%s\n%s" (Interp.v_to_string v) out)
+      | Error msg -> Error msg);
+    btrace = tr;
+  }
 
 type config = {
   inputs : int list list; (** argument vectors for the differential gate *)
@@ -59,6 +76,9 @@ type config = {
   exec : exec;
   verify_gate : bool;
   differential_gate : bool;
+  legacy_differential : bool;
+      (** escape hatch: compare flat output only, ignoring event traces
+          ([noelle-pipeline --legacy-differential]) *)
   verify_meta_gate : bool;
       (** reconcile embedded analysis artifacts ({!Trust}) at every
           commit — stale/corrupt ones are quarantined instead of
@@ -77,14 +97,17 @@ let default_config =
     exec = interp_exec;
     verify_gate = true;
     differential_gate = true;
+    legacy_differential = false;
     verify_meta_gate = false;
     max_diff_lines = 24;
     on_change = (fun () -> ());
   }
 
 (** A pass is a named in-place transformation returning a human-readable
-    summary of what it did. *)
-type pass = { pname : string; papply : Irmod.t -> string }
+    summary of what it did.  [plicense] is the commutation license its
+    differential gate grants ({!Ir.Obs.license}): cleanups keep [Exact],
+    parallelizers declare which event reorders they are entitled to. *)
+type pass = { pname : string; papply : Irmod.t -> string; plicense : Obs.license }
 
 (* ------------------------------------------------------------------ *)
 (* Behaviour comparison                                                *)
@@ -98,6 +121,8 @@ let contains s sub =
 let is_fuel_exhaustion = function
   | Error msg -> contains msg "out of fuel"
   | Ok _ -> false
+
+let fuel_exhausted (b : behaviour) = is_fuel_exhaustion b.bresult
 
 (* Trap messages carry instruction ids and labels that legitimately shift
    under transformation, so equivalence of trapping runs is by trap class
@@ -121,20 +146,45 @@ let args_str args = "(" ^ String.concat ", " (List.map string_of_int args) ^ ")"
 let behaviours (c : config) (m : Irmod.t) =
   List.map (fun args -> c.exec m ~args ~fuel:c.fuel) c.inputs
 
-(** Compare candidate behaviours against the reference, input by input. *)
-let compare_behaviours (c : config) reference candidate =
+(** Compare candidate behaviours against the reference, input by input.
+
+    Fuel exhaustion is handled before anything else: a candidate that ran
+    out of fuel where the reference did not is [`Timed_out] — a resource
+    verdict, never a behavioural mismatch — and two runs that both
+    exhausted their fuel are equal by convention (their traces are
+    incomparable prefixes).  Otherwise the gate demands the legacy
+    observable (exit + output) be identical {e and}, unless
+    [legacy_differential] is set, the event traces be equivalent modulo
+    [license] ({!Ir.Obs.check}); a trace rejection carries its minimal
+    event-diff witness. *)
+let compare_behaviours ?(license = Obs.Exact) (c : config)
+    (reference : behaviour list) (candidate : behaviour list) =
   let rec go inputs refs cands =
     match (inputs, refs, cands) with
     | [], [], [] -> `Equal
     | args :: is, r :: rs, cd :: cs ->
-      if equiv r cd then go is rs cs
-      else if is_fuel_exhaustion cd && not (is_fuel_exhaustion r) then
-        `Timed_out (Printf.sprintf "on input %s: ran out of fuel (reference %s)"
-                      (args_str args) (describe_result r))
-      else
-        `Mismatch (Printf.sprintf "on input %s: expected %s, got %s" (args_str args)
-                     (describe_result r) (describe_result cd))
-    | _ -> `Mismatch "behaviour vectors have different lengths"
+      if fuel_exhausted cd && not (fuel_exhausted r) then
+        `Timed_out
+          (Printf.sprintf "on input %s: ran out of fuel (reference %s)"
+             (args_str args) (describe_result r.bresult))
+      else if fuel_exhausted r && fuel_exhausted cd then go is rs cs
+      else if not (equiv r.bresult cd.bresult) then
+        `Mismatch
+          ( Printf.sprintf "on input %s: expected %s, got %s" (args_str args)
+              (describe_result r.bresult)
+              (describe_result cd.bresult),
+            [] )
+      else if c.legacy_differential then go is rs cs
+      else (
+        match Obs.check ~license ~reference:r.btrace ~candidate:cd.btrace with
+        | Ok () -> go is rs cs
+        | Error (reason, witness) ->
+          `Mismatch
+            ( Printf.sprintf "on input %s: %s (license: %s)" (args_str args)
+                reason
+                (Obs.license_to_string license),
+              witness ))
+    | _ -> `Mismatch ("behaviour vectors have different lengths", [])
   in
   go c.inputs reference candidate
 
@@ -171,12 +221,20 @@ let gate_tags (c : config) (e : entry) =
   @ (match e.einjected with Some d -> [ ("injected", d) ] | None -> [])
 
 let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : report =
+  Trace.touch "obs.trace_compares";
+  Trace.touch "obs.reorders_rejected";
+  Trace.touch "obs.events";
   let reference =
     if config.differential_gate then
       Trace.span ~cat:"pipeline" "pipeline.reference" (fun () -> behaviours config m)
     else []
   in
+  (* the license a gate must grant grows with each committed pass: the
+     candidate carries every committed commutation, so the gate compares
+     under the join of those licenses and the current pass's own *)
+  let committed_license = ref Obs.Exact in
   let run_pass idx (p : pass) : entry =
+    let license = Obs.join !committed_license p.plicense in
     let sp = Trace.begin_span ~cat:"pipeline" ("pass:" ^ p.pname) in
     let snap = Snapshot.capture m in
     let applied = try Ok (p.papply m) with e -> Error (Printexc.to_string e) in
@@ -186,11 +244,18 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
       | Error _ -> None
       | Ok _ -> Option.bind inject (fun seed -> Faultgen.inject ~seed:(seed + idx) m)
     in
-    let rollback reason =
+    let rollback ?(trace_diff = []) reason =
       let diff = Snapshot.diff ~limit:config.max_diff_lines (Snapshot.view snap) m in
       Snapshot.restore snap m;
       config.on_change ();
-      { epass = p.pname; eoutcome = reason; einjected = injected; ediff = diff; emeta = [] }
+      {
+        epass = p.pname;
+        eoutcome = reason;
+        einjected = injected;
+        ediff = diff;
+        etrace_diff = trace_diff;
+        emeta = [];
+      }
     in
     let commit summary =
       (* the change is in: strip embedded artifacts it invalidated, so no
@@ -200,11 +265,13 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
           List.map Trust.event_to_string (Trust.reconcile m)
         else []
       in
+      committed_license := license;
       {
         epass = p.pname;
         eoutcome = Committed summary;
         einjected = injected;
         ediff = [];
+        etrace_diff = [];
         emeta;
       }
     in
@@ -217,10 +284,11 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
         | Ok () ->
           if not config.differential_gate then commit summary
           else (
-            match compare_behaviours config reference (behaviours config m) with
+            match compare_behaviours ~license config reference (behaviours config m) with
             | `Equal -> commit summary
             | `Timed_out msg -> rollback (Timed_out msg)
-            | `Mismatch msg -> rollback (Rolled_back ("differential: " ^ msg))))
+            | `Mismatch (msg, witness) ->
+              rollback ~trace_diff:witness (Rolled_back ("differential: " ^ msg))))
     in
     (match entry.eoutcome with
     | Committed _ -> Trace.incr_m "pipeline.committed"
@@ -233,7 +301,9 @@ let run ?(config = default_config) ?inject (m : Irmod.t) (passes : pass list) : 
   let final_ok =
     (match Verify.check m with Ok () -> true | Error _ -> false)
     && (not config.differential_gate
-       || compare_behaviours config reference (behaviours config m) = `Equal)
+       || compare_behaviours ~license:!committed_license config reference
+            (behaviours config m)
+          = `Equal)
     && (not config.verify_meta_gate || Trust.failures (Trust.audit m) = [])
   in
   { entries; final_ok }

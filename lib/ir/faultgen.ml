@@ -22,6 +22,9 @@ type kind =
   | Drop_meta_edge    (** one embedded PDG edge key deleted *)
   | Flip_meta_edge    (** one embedded PDG edge retargeted to a ghost id *)
   | Garble_prof       (** one embedded profile count multiplied away *)
+  | Effect_reorder    (** one observable effect migrated past another;
+                          final memory and text output unchanged, so only
+                          a trace-equivalence gate ({!Obs}) can catch it *)
 
 let kind_to_string = function
   | Drop_store -> "drop-store"
@@ -36,12 +39,14 @@ let kind_to_string = function
   | Drop_meta_edge -> "drop-meta-edge"
   | Flip_meta_edge -> "flip-meta-edge"
   | Garble_prof -> "garble-prof"
+  | Effect_reorder -> "effect-reorder"
 
 (** Is the fault class one the verifier alone must catch? *)
 let structural = function
   | Corrupt_phi_edge | Undef_operand | Mid_terminator -> true
   | Drop_store | Swap_operands | Corrupt_phi_value | Uninit_load | Wild_store
-  | Stale_stamp | Drop_meta_edge | Flip_meta_edge | Garble_prof ->
+  | Stale_stamp | Drop_meta_edge | Flip_meta_edge | Garble_prof
+  | Effect_reorder ->
     false
 
 (** The fault classes a broken transformation produces; the default draw of
@@ -63,6 +68,11 @@ let sanitizer_kinds = [ Uninit_load; Wild_store ]
     transformation (stale stamp), truncated metadata (dropped edge), and
     bit rot (flipped edge endpoint, garbled counts). *)
 let metadata_kinds = [ Stale_stamp; Drop_meta_edge; Flip_meta_edge; Garble_prof ]
+
+(** The effect-order bug class only the observable-event oracle can
+    catch: final values and the flat output buffer are untouched, so the
+    legacy output-compare gate sails straight past it. *)
+let observable_kinds = [ Effect_reorder ]
 
 let is_meta_kind k = List.mem k metadata_kinds
 
@@ -121,6 +131,64 @@ let meta_sites_of (m : Irmod.t) (k : kind) : string list =
       keys
   | _ -> []
 
+(* Effect_reorder helpers: an "observable effect" is a store to a global
+   or a call to a print builtin; a migratable pair is two observable
+   effects in one block separated only by transparent (pure, memory-free)
+   register computations, at least one of the pair a store (so the output
+   buffer cannot see the migration) and never two stores to the same
+   global (so final memory is unchanged). *)
+let obs_effect (f : Func.t) (op : Instr.op) =
+  match op with
+  | Instr.Store (_, p) -> (
+    match Alias.base_of f p with
+    | Alias.Bglobal g -> Some (`St g)
+    | _ -> None)
+  | Instr.Call (Instr.Glob c, _) when c = "print" || c = "print_float" ->
+    Some `Pr
+  | _ -> None
+
+let reorder_partner (f : Func.t) (i : Instr.inst) : Instr.inst option =
+  match obs_effect f i.Instr.op with
+  | None -> None
+  | Some e1 ->
+    let b = Func.block f i.Instr.parent in
+    let rec after = function
+      | x :: tl when x = i.Instr.id -> tl
+      | _ :: tl -> after tl
+      | [] -> []
+    in
+    (* pure register computations may sit between the two effects:
+       migrating the first effect past them (and past the partner) leaves
+       every register value and the final memory image intact *)
+    let transparent = function
+      | Instr.Bin _ | Instr.Fbin _ | Instr.Icmp _ | Instr.Fcmp _
+      | Instr.Cast _ | Instr.Gep _ | Instr.Select _ -> true
+      | _ -> false
+    in
+    let uses_i op =
+      List.exists
+        (function Instr.Reg r -> r = i.Instr.id | _ -> false)
+        (Instr.operands op)
+    in
+    let rec scan = function
+      | [] -> None
+      | jid :: tl -> (
+        let j = Func.inst f jid in
+        if uses_i j.Instr.op then None
+        else
+          match obs_effect f j.Instr.op with
+          | Some e2 ->
+            let ok =
+              match (e1, e2) with
+              | `Pr, `Pr -> false (* output order would change *)
+              | `St a, `St b' -> a <> b' (* same cell: final memory would change *)
+              | _ -> true
+            in
+            if ok then Some j else None
+          | None -> if transparent j.Instr.op then scan tl else None)
+    in
+    scan (after b.Func.insts)
+
 (* candidate sites, enumerated in deterministic layout order *)
 let sites_of (m : Irmod.t) (k : kind) : (Func.t * Instr.inst) list =
   match k with
@@ -154,6 +222,7 @@ let sites_of (m : Irmod.t) (k : kind) : (Func.t * Instr.inst) list =
               let b = Func.block f i.Instr.parent in
               (match b.Func.insts with x :: _ -> x = i.Instr.id | [] -> false)
               && List.length b.Func.insts >= 3
+            | Effect_reorder, _ -> reorder_partner f i <> None
             | _ -> false
           in
           if ok then out := (f, i) :: !out)
@@ -260,6 +329,18 @@ let apply_info (r : rng) (m : Irmod.t) (k : kind) (f : Func.t) (i : Instr.inst) 
     (match b.Func.insts with
     | x :: rest -> b.Func.insts <- x :: t.Instr.id :: rest
     | [] -> ())
+  | Effect_reorder, _ -> (
+    match reorder_partner f i with
+    | Some j ->
+      (* migrate the first effect to just after its partner; the
+         instructions in between are pure, so their operands stay defined *)
+      let b = Func.block f i.Instr.parent in
+      let without = List.filter (fun x -> x <> i.Instr.id) b.Func.insts in
+      b.Func.insts <-
+        List.concat_map
+          (fun x -> if x = j.Instr.id then [ x; i.Instr.id ] else [ x ])
+          without
+    | None -> ())
   | _ -> ());
   {
     idesc = Printf.sprintf "%s at %s" (kind_to_string k) where;

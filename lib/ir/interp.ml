@@ -34,6 +34,13 @@ type hooks = {
       (** called for every direct/indirect/builtin call *)
   mutable on_mem : (Func.t -> Instr.inst -> addr:int -> write:bool -> unit) option;
       (** called for every load/store with its resolved address *)
+  mutable on_builtin : (string -> v list -> unit) option;
+      (** called before a builtin executes, with its evaluated arguments;
+          the observable-event layer ({!Obs}) records external calls here *)
+  mutable on_alloc : (base:int -> size:int -> unit) option;
+      (** called after every allocation (global, alloca, malloc) *)
+  mutable on_store : (Func.t -> Instr.inst -> addr:int -> value:v -> unit) option;
+      (** called before a store commits, with the value being written *)
 }
 
 type state = {
@@ -75,6 +82,7 @@ let allocate st size =
   st.brk <- st.brk + max size 1;
   ensure_capacity st st.brk;
   Hashtbl.replace st.allocs base { base; size; alive = true };
+  (match st.hooks.on_alloc with Some h -> h ~base ~size | None -> ());
   base
 
 let load_word st addr =
@@ -208,7 +216,16 @@ let create (m : Irmod.t) : state =
       steps = 0;
       fuel = 200_000_000;
       clock = 0L;
-      hooks = { on_block = None; on_inst = None; on_call = None; on_mem = None };
+      hooks =
+        {
+          on_block = None;
+          on_inst = None;
+          on_call = None;
+          on_mem = None;
+          on_builtin = None;
+          on_alloc = None;
+          on_store = None;
+        };
       builtins = Hashtbl.create 16;
       rng = 88172645463325252L;
       user = Hashtbl.create 8;
@@ -285,7 +302,9 @@ let eval_cmp (cmp : Instr.cmp) c =
     resolve to builtins are all accepted. *)
 let rec call (st : state) (fname : string) (args : v list) : v =
   match Hashtbl.find_opt st.builtins fname with
-  | Some b -> b st args
+  | Some b ->
+    (match st.hooks.on_builtin with Some h -> h fname args | None -> ());
+    b st args
   | None -> (
     match Irmod.func_opt st.m fname with
     | Some f when not f.Func.is_declaration -> exec_func st f (Array.of_list args)
@@ -402,7 +421,9 @@ and exec_func (st : state) (f : Func.t) (args : v array) : v =
           | Instr.Store (x, p) ->
             let addr = as_ptr (eval p) in
             (match st.hooks.on_mem with Some h -> h f i ~addr ~write:true | None -> ());
-            store_word st addr (eval x)
+            let v = eval x in
+            (match st.hooks.on_store with Some h -> h f i ~addr ~value:v | None -> ());
+            store_word st addr v
           | Instr.Gep (p, idx) ->
             Hashtbl.replace regs i.Instr.id
               (VP (as_ptr (eval p) + Int64.to_int (as_int (eval idx))))

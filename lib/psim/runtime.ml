@@ -123,6 +123,11 @@ type t = {
   mutable fault : fault option;
   mutable restarts : int;            (** section restarts performed *)
   mutable task_log : task_event list;  (** dispositions, most recent first *)
+  (* observability *)
+  mutable recorder : Obs.recorder option;
+      (** when set, the scheduler tags every observable event with the
+          running task / section, and {!sig_wait}/{!sig_set} bracket
+          Helix sequential segments (DESIGN.md §12 replay protocol) *)
 }
 
 let stats_sections (t : t) = t.sections
@@ -160,6 +165,7 @@ type section_snap = {
   s_sigs : (int, int64 * int64) Hashtbl.t;
   s_next_handle : int;
   s_next_tid : int;
+  s_obs_len : int;  (** recorder length: retries roll events back too *)
 }
 
 let snapshot_section (r : t) : section_snap =
@@ -187,6 +193,7 @@ let snapshot_section (r : t) : section_snap =
     s_sigs = sigs;
     s_next_handle = r.next_handle;
     s_next_tid = r.next_tid;
+    s_obs_len = (match r.recorder with Some rc -> Obs.length rc | None -> 0);
   }
 
 let restore_section (r : t) (s : section_snap) =
@@ -210,7 +217,10 @@ let restore_section (r : t) (s : section_snap) =
   Hashtbl.reset r.sigs;
   Hashtbl.iter (fun k (v, stamp) -> Hashtbl.replace r.sigs k (ref v, ref stamp)) s.s_sigs;
   r.next_handle <- s.s_next_handle;
-  r.next_tid <- s.s_next_tid
+  r.next_tid <- s.s_next_tid;
+  match r.recorder with
+  | Some rc -> Obs.truncate rc s.s_obs_len
+  | None -> ()
 
 (** Run one parallel section to completion.  When [death] is given, a
     per-task instruction counter drives injected failures: the doomed
@@ -231,6 +241,17 @@ let run_section (r : t) ?death ?(attempt = 1) (tasks : task list) =
     (fun i t -> t.clock <- Int64.add caller_clock (Int64.mul spawn_cost (Int64.of_int (i + 1))))
     tasks;
   let current = ref (-1) in
+  (* tag observable events with the running task and this section's
+     ordinal (stable across retries: completed sections only) *)
+  let sec = r.sections in
+  let set_ctx tid =
+    current := tid;
+    match r.recorder with
+    | Some rc ->
+      rc.Obs.task <- tid;
+      rc.Obs.section <- (if tid < 0 then -1 else sec)
+    | None -> ()
+  in
   let old_inst = r.st.Interp.hooks.Interp.on_inst in
   let restore_hook () = r.st.Interp.hooks.Interp.on_inst <- old_inst in
   (match death with
@@ -286,18 +307,18 @@ let run_section (r : t) ?death ?(attempt = 1) (tasks : task list) =
             if Trace.enabled () then
               Hashtbl.replace task_start t.tid (Trace.now_us (), t.clock);
             r.st.Interp.clock <- t.clock;
-            current := t.tid;
+            set_ctx t.tid;
             let st' = start t in
-            current := -1;
+            set_ctx (-1);
             t.clock <- r.st.Interp.clock;
             s := Some st';
             progressed := true
           | Some (Blocked (cond, k)) ->
             if cond () then begin
               r.st.Interp.clock <- t.clock;
-              current := t.tid;
+              set_ctx t.tid;
               let st' = Effect.Deep.continue k () in
-              current := -1;
+              set_ctx (-1);
               t.clock <- r.st.Interp.clock;
               s := Some st';
               progressed := true
@@ -343,7 +364,7 @@ let run_section (r : t) ?death ?(attempt = 1) (tasks : task list) =
     Trace.incr_m "psim.task.deaths";
     Trace.end_span ~args:[ ("outcome", "died"); ("task", string_of_int tid) ] sp;
     restore_hook ();
-    current := -1;
+    set_ctx (-1);
     (* unwind every still-suspended fiber so its frames are discarded *)
     List.iter
       (fun (_, s) ->
@@ -411,8 +432,10 @@ let install ?(arch : Noelle.Arch.t option) (st : Interp.state) : t =
       fault = None;
       restarts = 0;
       task_log = [];
+      recorder = None;
     }
   in
+  Trace.touch "psim.replay_validated";
   let reg name fn = Interp.register_builtin st name fn in
   reg "task_submit" (fun st args ->
       match args with
@@ -492,6 +515,12 @@ let install ?(arch : Noelle.Arch.t option) (st : Interp.state) : t =
           Effect.perform (Block (fun () -> !value >= k))
         done;
         st.Interp.clock <- Int64.max st.Interp.clock !stamp;
+        (* Helix brackets a sequential segment with sig_wait ... sig_set:
+           events until the matching sig_set carry the seq tag *)
+        (match r.recorder with
+        | Some rc when rc.Obs.task >= 0 ->
+          Hashtbl.replace rc.Obs.seq_tasks rc.Obs.task ()
+        | _ -> ());
         Interp.VI 0L
       | _ -> Interp.trap "sig_wait: expected 2 arguments");
   reg "sig_set" (fun st args ->
@@ -503,6 +532,10 @@ let install ?(arch : Noelle.Arch.t option) (st : Interp.state) : t =
           value := k;
           stamp := Int64.add st.Interp.clock r.latency
         end;
+        (match r.recorder with
+        | Some rc when rc.Obs.task >= 0 ->
+          Hashtbl.remove rc.Obs.seq_tasks rc.Obs.task
+        | _ -> ());
         Interp.VI 0L
       | _ -> Interp.trap "sig_set: expected 2 arguments");
   r
@@ -519,6 +552,43 @@ let run ?(entry = "main") ?(args = []) ?fuel ?arch (m : Irmod.t) =
   let r = install ?arch st in
   let v = Interp.call st entry (List.map (fun n -> Interp.VI (Int64.of_int n)) args) in
   (v, Buffer.contents st.Interp.output, st.Interp.clock, r)
+
+(** Run [m]'s entry under the parallel runtime with an observable-event
+    recorder attached: every event is tagged with its task and parallel
+    section.  Returns (result, output, trace, simulated cycles). *)
+let run_traced ?(entry = "main") ?(args = []) ?fuel ?arch ?sites (m : Irmod.t) :
+    (Interp.v, string) result * string * Obs.trace * int64 =
+  let sites = match sites with Some s -> s | None -> Obs.escape_sites ~entry m in
+  let st = Interp.create m in
+  (match fuel with Some f -> st.Interp.fuel <- f | None -> ());
+  let r = install ?arch st in
+  let rc = Obs.attach ~sites st in
+  r.recorder <- Some rc;
+  match
+    Interp.call st entry (List.map (fun n -> Interp.VI (Int64.of_int n)) args)
+  with
+  | v ->
+    Obs.finish rc (Obs.Exit (Obs.render rc v));
+    (Ok v, Buffer.contents st.Interp.output, Obs.events rc, st.Interp.clock)
+  | exception Interp.Trap msg ->
+    Obs.finish rc (Obs.terminal_of_trap msg);
+    (Error msg, Buffer.contents st.Interp.output, Obs.events rc, st.Interp.clock)
+
+(** Replay protocol (DESIGN.md §12): execute the parallelized module [m]
+    under the runtime with a recorder, then validate its tagged schedule
+    against the sequential trace of [original] under [license].  [Ok ()]
+    counts into [psim.replay_validated]; a violation carries the minimal
+    event-diff witness. *)
+let replay_validate ?(entry = "main") ?(args = []) ?fuel ?arch
+    ?(license = Obs.Permute_iterations) ~(original : Irmod.t) (m : Irmod.t) :
+    (unit, Obs.mismatch) result =
+  let _, _, reference = Obs.run ~entry ~args ?fuel original in
+  let _, _, candidate, _ = run_traced ~entry ~args ?fuel ?arch m in
+  let res = Obs.check ~license ~reference ~candidate in
+  (match res with
+  | Ok () -> Trace.incr_m "psim.replay_validated"
+  | Error _ -> ());
+  res
 
 (** Sequential reference run: simulated cycles = dynamic instructions. *)
 let run_sequential ?(entry = "main") ?(args = []) ?fuel (m : Irmod.t) =

@@ -11,14 +11,23 @@
 
 open Ir
 
-(** Differential executor backed by the parallel runtime. *)
+(** Differential executor backed by the parallel runtime, under an
+    observable-event recorder: events are tagged with their task/section
+    so the trace gate can validate the parallel schedule against the
+    sequential reference. *)
 let psim_exec : Noelle.Pipeline.exec =
  fun m ~args ~fuel ->
-  match Psim.Runtime.run ~args ~fuel m with
-  | v, out, _cycles, _rt -> Ok (Printf.sprintf "exit=%s\n%s" (Interp.v_to_string v) out)
-  | exception Interp.Trap msg -> Error msg
+  let res, out, tr, _cycles = Psim.Runtime.run_traced ~args ~fuel m in
+  {
+    Noelle.Pipeline.bresult =
+      (match res with
+      | Ok v -> Ok (Printf.sprintf "exit=%s\n%s" (Interp.v_to_string v) out)
+      | Error msg -> Error msg);
+    btrace = tr;
+  }
 
-let mk name apply : Noelle.Pipeline.pass = { Noelle.Pipeline.pname = name; papply = apply }
+let mk ?(license = Obs.Exact) name apply : Noelle.Pipeline.pass =
+  { Noelle.Pipeline.pname = name; papply = apply; plicense = license }
 
 let par_summary outcomes =
   let ok = List.length (List.filter (fun (_, r) -> Result.is_ok r) outcomes) in
@@ -41,19 +50,25 @@ let dead (n : Noelle.t) =
 let gate check_races m =
   if check_races then Lint.race_gate m else fun (_ : string) -> false
 
+(* Commutation licenses (DESIGN.md §12): DOALL may permute independent
+   iterations' event blocks across tasks; DSWP may buffer events between
+   stages but each stage keeps program order; Helix additionally pins its
+   sequential segments to sequential order.  The cleanups above get no
+   license at all — their gates stay event-exact. *)
+
 let doall ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
     (n : Noelle.t) =
-  mk "doall" (fun m ->
+  mk ~license:Obs.Permute_iterations "doall" (fun m ->
       par_summary (Doall.run n m ~ncores ~min_hotness ~min_work ~skip:(gate check_races m) ()))
 
 let helix ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
     (n : Noelle.t) =
-  mk "helix" (fun m ->
+  mk ~license:Obs.Seq_segments "helix" (fun m ->
       par_summary (Helix.run n m ~ncores ~min_hotness ~min_work ~skip:(gate check_races m) ()))
 
 let dswp ?(max_stages = 3) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
     (n : Noelle.t) =
-  mk "dswp" (fun m ->
+  mk ~license:Obs.Buffer_stages "dswp" (fun m ->
       par_summary (Dswp.run n m ~max_stages ~min_hotness ~min_work ~skip:(gate check_races m) ()))
 
 (** The standard stack: cleanups first, then the parallelizers from the
@@ -76,14 +91,15 @@ let standard ?ncores ?min_hotness ?min_work ?check_races (n : Noelle.t) :
     [verify_meta] set, every commit also reconciles embedded analysis
     artifacts through the trust layer and the final module must audit
     clean ([noelle-pipeline --verify-meta]). *)
-let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false) (n : Noelle.t) :
-    Noelle.Pipeline.config =
+let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false)
+    ?(legacy_differential = false) (n : Noelle.t) : Noelle.Pipeline.config =
   {
     Noelle.Pipeline.default_config with
     Noelle.Pipeline.inputs;
     fuel;
     exec = psim_exec;
     verify_meta_gate = verify_meta;
+    legacy_differential;
     on_change = (fun () -> Noelle.invalidate n);
   }
 
@@ -92,12 +108,13 @@ let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false) (n : No
     report; [m] holds the surviving (verified, behaviour-preserving)
     module. *)
 let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
-    ?check_races ?analysis_budget ?(verify_meta = false) (m : Irmod.t) =
+    ?check_races ?analysis_budget ?(verify_meta = false) ?legacy_differential
+    (m : Irmod.t) =
   Trace.span ~cat:"pipeline" "pipeline.standard" @@ fun () ->
   let n = Noelle.create ?analysis_budget m in
   let report =
     Noelle.Pipeline.run
-      ~config:(config ?inputs ?fuel ~verify_meta n)
+      ~config:(config ?inputs ?fuel ~verify_meta ?legacy_differential n)
       ?inject:inject_seed m
       (standard ?ncores ?min_hotness ?min_work ?check_races n)
   in

@@ -1,0 +1,336 @@
+(** Tests of the observable-event oracle (DESIGN.md §12): trace shape and
+    escape filtering, commutation licenses and their join, the exact and
+    concurrent equivalence checkers with their minimal witnesses, the
+    Effect_reorder fault class that only a trace gate can catch, a fuzz
+    sweep showing the trace gate strictly stronger than the legacy output
+    compare, and the Psim replay-validation protocol. *)
+
+open Helpers
+open Ir
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* two global cells, two stores with no dependence between them: the final
+   memory image and the (empty) text output are insensitive to store
+   order, so only the event trace distinguishes the two variants *)
+let two_stores_src =
+  {|
+int g[4];
+int h[4];
+int main() {
+  g[0] = 7;
+  h[0] = 9;
+  return 0;
+}
+|}
+
+let two_stores_swapped_src =
+  {|
+int g[4];
+int h[4];
+int main() {
+  h[0] = 9;
+  g[0] = 7;
+  return 0;
+}
+|}
+
+(* stores into a non-escaping malloc'd buffer must stay OUT of the trace;
+   the single global store and the print must be in it *)
+let private_heap_src =
+  {|
+int g[2];
+int main() {
+  int *a = malloc(16);
+  for (int i = 0; i < 16; i++) {
+    a[i] = i * i;
+  }
+  g[0] = a[5];
+  print(a[3]);
+  return 0;
+}
+|}
+
+let keys t = List.map (fun (e : Obs.event) -> Obs.action_key e.Obs.eact) t
+
+let test_trace_shape () =
+  let _, out, t = Obs.run ~fuel:100_000 (compile private_heap_src) in
+  checks "output" "9" (String.trim out);
+  checks "trace"
+    "store @g[0] = 25 | call print(9) | exit 0"
+    (String.concat " | " (keys t))
+
+let test_exact_identity () =
+  (* the gate must never reject the identity transformation *)
+  let _, _, a = Obs.run ~fuel:100_000 (compile two_stores_src) in
+  let _, _, b = Obs.run ~fuel:100_000 (compile two_stores_src) in
+  match Obs.check ~license:Obs.Exact ~reference:a ~candidate:b with
+  | Ok () -> ()
+  | Error (msg, _) -> Alcotest.failf "identity rejected: %s" msg
+
+let test_exact_witness () =
+  let ra, oa, a = Obs.run ~fuel:100_000 (compile two_stores_src) in
+  let rb, ob, b = Obs.run ~fuel:100_000 (compile two_stores_swapped_src) in
+  (* the legacy oracle sees nothing... *)
+  checkb "results agree" (ra = rb);
+  checks "outputs agree" oa ob;
+  (* ...the trace oracle produces a minimal witness *)
+  match Obs.check ~license:Obs.Exact ~reference:a ~candidate:b with
+  | Ok () -> Alcotest.fail "swapped stores accepted under the exact license"
+  | Error (msg, witness) ->
+    checkb "reason names the divergence point" (contains msg "diverges at event 0");
+    checkb "witness shows the reference side"
+      (List.exists (fun l -> contains l "- [0] store @g[0] = 7") witness);
+    checkb "witness shows the candidate side"
+      (List.exists (fun l -> contains l "+ [0] store @h[0] = 9") witness)
+
+let test_trap_class_and_fuel_terminal () =
+  checks "traps compare by class" (Obs.action_key (Obs.Trapped "inst 3: bad"))
+    (Obs.action_key (Obs.Trapped "inst 9: worse"));
+  let r, _, t = Obs.run ~fuel:40 (compile private_heap_src) in
+  checkb "run reports the trap" (Result.is_error r);
+  match List.rev t with
+  | last :: _ -> checks "terminal" "out-of-fuel" (Obs.action_key last.Obs.eact)
+  | [] -> Alcotest.fail "empty trace"
+
+let test_license_join () =
+  let all =
+    [ Obs.Exact; Obs.Permute_iterations; Obs.Buffer_stages; Obs.Seq_segments ]
+  in
+  List.iter
+    (fun l ->
+      checkb "join is idempotent" (Obs.join l l = l);
+      checkb "Exact is the identity" (Obs.join Obs.Exact l = l && Obs.join l Obs.Exact = l))
+    all;
+  checkb "mixing distinct concurrent licenses keeps only per-task order"
+    (Obs.join Obs.Buffer_stages Obs.Seq_segments = Obs.Permute_iterations)
+
+(* synthetic traces for the concurrent checker *)
+let ev ?(task = -1) ?(seq = false) act =
+  { Obs.etask = task; esection = (if task < 0 then -1 else 0); eseq = seq; eact = act }
+
+let st g v = Obs.Store { sobj = "@" ^ g; soff = 0; svalue = string_of_int v }
+
+let test_concurrent_check () =
+  let reference = [ ev (st "a" 1); ev (st "b" 2); ev (st "c" 3) ] in
+  (* cross-task interleaving is licensed: each task's stream is a
+     subsequence of the reference *)
+  let interleaved =
+    [ ev ~task:1 (st "b" 2); ev ~task:0 (st "a" 1); ev ~task:0 (st "c" 3) ]
+  in
+  (match
+     Obs.check ~license:Obs.Permute_iterations ~reference ~candidate:interleaved
+   with
+  | Ok () -> ()
+  | Error (msg, _) -> Alcotest.failf "licensed interleaving rejected: %s" msg);
+  (* a reorder WITHIN one task is never licensed *)
+  let within =
+    [ ev ~task:1 (st "b" 2); ev ~task:0 (st "c" 3); ev ~task:0 (st "a" 1) ]
+  in
+  (match
+     Obs.check ~license:Obs.Permute_iterations ~reference ~candidate:within
+   with
+  | Ok () -> Alcotest.fail "in-task reorder accepted"
+  | Error (msg, _) -> checkb "blames the task" (contains msg "task 0"));
+  (* a dropped event shows up as a multiset difference *)
+  let dropped = [ ev ~task:0 (st "a" 1); ev ~task:0 (st "c" 3) ] in
+  (match
+     Obs.check ~license:Obs.Permute_iterations ~reference ~candidate:dropped
+   with
+  | Ok () -> Alcotest.fail "dropped event accepted"
+  | Error (msg, witness) ->
+    checkb "multisets differ" (contains msg "multisets");
+    checkb "witness names the dropped store"
+      (List.exists (fun l -> contains l "store @b[0] = 2") witness));
+  (* Helix: sequential-segment events keep GLOBAL order even across tasks *)
+  let seq_swapped =
+    [ ev ~task:1 ~seq:true (st "b" 2); ev ~task:0 (st "a" 1);
+      ev ~task:0 ~seq:true (st "c" 3) ]
+  in
+  let seq_ref =
+    [ ev (st "a" 1); ev ~seq:true (st "c" 3); ev ~seq:true (st "b" 2) ]
+  in
+  (match
+     Obs.check ~license:Obs.Seq_segments ~reference:seq_ref ~candidate:seq_swapped
+   with
+  | Ok () -> Alcotest.fail "seq-segment reorder accepted under seq-segments"
+  | Error (msg, _) -> checkb "blames the segments" (contains msg "sequential segments"));
+  match
+    Obs.check ~license:Obs.Permute_iterations ~reference:seq_ref
+      ~candidate:seq_swapped
+  with
+  | Ok () -> ()
+  | Error (msg, _) ->
+    Alcotest.failf "same candidate must pass without the seq constraint: %s" msg
+
+let reorder_pass seed : Noelle.Pipeline.pass =
+  {
+    Noelle.Pipeline.pname = "effect-reorder";
+    papply =
+      (fun m ->
+        match Faultgen.inject ~kinds:Faultgen.observable_kinds ~seed m with
+        | Some d -> d
+        | None -> Alcotest.fail "no reorder site in test program");
+    plicense = Obs.Exact;
+  }
+
+let test_effect_reorder_old_gate_misses () =
+  (* the satellite claim, end to end: a planted effect reorder sails
+     through the legacy output-compare gate and dies at the trace gate
+     with a witness *)
+  let config =
+    { Noelle.Pipeline.default_config with Noelle.Pipeline.fuel = 200_000 }
+  in
+  let m = compile two_stores_src in
+  let r = Noelle.Pipeline.run ~config m [ reorder_pass 1 ] in
+  (match r.Noelle.Pipeline.entries with
+  | [ e ] -> (
+    match e.Noelle.Pipeline.eoutcome with
+    | Noelle.Pipeline.Rolled_back reason ->
+      checkb "rejected by the differential gate" (contains reason "differential");
+      checkb "a minimal event-diff witness was recorded"
+        (e.Noelle.Pipeline.etrace_diff <> [])
+    | o ->
+      Alcotest.failf "trace gate: expected rollback, got %s"
+        (Noelle.Pipeline.outcome_to_string o))
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es));
+  checkb "final module ok after rollback" r.Noelle.Pipeline.final_ok;
+  let legacy =
+    { config with Noelle.Pipeline.legacy_differential = true }
+  in
+  let m' = compile two_stores_src in
+  let r' = Noelle.Pipeline.run ~config:legacy m' [ reorder_pass 1 ] in
+  match r'.Noelle.Pipeline.entries with
+  | [ { Noelle.Pipeline.eoutcome = Noelle.Pipeline.Committed _; _ } ] -> ()
+  | [ e ] ->
+    Alcotest.failf "legacy gate was supposed to miss the reorder, got %s"
+      (Noelle.Pipeline.outcome_to_string e.Noelle.Pipeline.eoutcome)
+  | es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+
+let test_fuzz_sweep_strictly_stronger () =
+  (* over 50 generated programs: (a) the trace gate never rejects the
+     identity, (b) every plantable effect reorder is invisible to the
+     legacy oracle yet rejected by the trace oracle *)
+  let fuel = 1_000_000 in
+  let planted = ref 0 in
+  for seed = 1 to 50 do
+    let name = Printf.sprintf "fuzz%d" seed in
+    let src = Bsuite.Generator.program seed in
+    let m = Minic.Lower.compile ~name src in
+    let ra, oa, reference = Obs.run ~fuel m in
+    let _, _, again = Obs.run ~fuel (Minic.Lower.compile ~name src) in
+    (match Obs.check ~license:Obs.Exact ~reference ~candidate:again with
+    | Ok () -> ()
+    | Error (msg, _) -> Alcotest.failf "seed %d: identity rejected: %s" seed msg);
+    if Result.is_ok ra then begin
+      let m' = Minic.Lower.compile ~name src in
+      match Faultgen.inject ~kinds:Faultgen.observable_kinds ~seed m' with
+      | None -> ()
+      | Some desc ->
+        incr planted;
+        let rb, ob, candidate = Obs.run ~fuel m' in
+        checkb
+          (Printf.sprintf "seed %d: %s: legacy oracle blind (result)" seed desc)
+          (ra = rb);
+        checks
+          (Printf.sprintf "seed %d: %s: legacy oracle blind (output)" seed desc)
+          oa ob;
+        match Obs.check ~license:Obs.Exact ~reference ~candidate with
+        | Ok () ->
+          Alcotest.failf "seed %d: %s: trace oracle also blind" seed desc
+        | Error (_, witness) ->
+          checkb
+            (Printf.sprintf "seed %d: witness non-empty" seed)
+            (witness <> [])
+    end
+  done;
+  checkb
+    (Printf.sprintf "sweep planted enough reorders to mean something (%d)"
+       !planted)
+    (!planted >= 10)
+
+let test_parallelizers_pass_trace_gate () =
+  (* the full standard stack on a parallelizable kernel: every pass must
+     clear the trace-equivalence gate *)
+  let k =
+    match Bsuite.Kernels.find "histogram" with
+    | Some k -> k
+    | None -> Alcotest.fail "histogram kernel missing"
+  in
+  let m = Bsuite.Kernels.compile k in
+  let report =
+    Ntools.Passes.run_standard ~fuel:(4 * k.Bsuite.Kernels.fuel) m
+  in
+  List.iter
+    (fun (e : Noelle.Pipeline.entry) ->
+      match e.Noelle.Pipeline.eoutcome with
+      | Noelle.Pipeline.Committed _ -> ()
+      | o ->
+        Alcotest.failf "%s: %s" e.Noelle.Pipeline.epass
+          (Noelle.Pipeline.outcome_to_string o))
+    report.Noelle.Pipeline.entries;
+  checkb "final ok" report.Noelle.Pipeline.final_ok
+
+let test_psim_replay_validation () =
+  let k =
+    match Bsuite.Kernels.find "histogram" with
+    | Some k -> k
+    | None -> Alcotest.fail "histogram kernel missing"
+  in
+  let fuel = 4 * k.Bsuite.Kernels.fuel in
+  let original = Bsuite.Kernels.compile k in
+  let m = Bsuite.Kernels.compile k in
+  ignore (Ntools.Passes.run_standard ~fuel m);
+  (match Psim.Runtime.replay_validate ~fuel ~original m with
+  | Ok () -> ()
+  | Error (msg, witness) ->
+    Alcotest.failf "replay rejected: %s\n%s" msg (String.concat "\n" witness));
+  (* and the negative: replaying against an original whose effects were
+     reordered must fail even under the DOALL license, because both
+     streams live in one task *)
+  let bad_original = compile two_stores_src in
+  ignore
+    (Faultgen.inject ~kinds:Faultgen.observable_kinds ~seed:1 bad_original);
+  match
+    Psim.Runtime.replay_validate ~fuel:100_000 ~original:bad_original
+      (compile two_stores_src)
+  with
+  | Ok () -> Alcotest.fail "replay accepted a reordered original"
+  | Error _ -> ()
+
+let test_counters_registered () =
+  Noelle.Telemetry.install ();
+  let names =
+    Fun.protect
+      ~finally:(fun () ->
+        Noelle.Telemetry.uninstall ();
+        Noelle.Telemetry.reset ())
+      (fun () ->
+        ignore (Obs.run ~fuel:100_000 (compile private_heap_src));
+        let reference = [ ev (st "a" 1) ] in
+        ignore (Obs.check ~license:Obs.Exact ~reference ~candidate:reference);
+        List.map fst (Noelle.Telemetry.metrics ()))
+  in
+  List.iter
+    (fun c -> checkb (c ^ " registered") (List.mem c names))
+    [ "obs.events"; "obs.trace_compares" ]
+
+let suite =
+  [
+    tc "obs: trace shape and escape filtering" test_trace_shape;
+    tc "obs: exact check accepts the identity" test_exact_identity;
+    tc "obs: exact check yields a minimal witness" test_exact_witness;
+    tc "obs: trap class and fuel terminal" test_trap_class_and_fuel_terminal;
+    tc "obs: license join laws" test_license_join;
+    tc "obs: concurrent checker licenses and rejections" test_concurrent_check;
+    tc "obs: planted reorder beats the legacy gate only"
+      test_effect_reorder_old_gate_misses;
+    tc "obs: 50-seed sweep, trace gate strictly stronger"
+      test_fuzz_sweep_strictly_stronger;
+    tc "obs: parallelizers clear the trace gate" test_parallelizers_pass_trace_gate;
+    tc "obs: psim replay validation" test_psim_replay_validation;
+    tc "obs: telemetry counters registered" test_counters_registered;
+  ]

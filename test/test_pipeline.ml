@@ -153,6 +153,7 @@ let corrupting_pass kind : Noelle.Pipeline.pass =
   {
     Noelle.Pipeline.pname = "corrupt-" ^ Faultgen.kind_to_string kind;
     papply = (fun m -> inject_kind kind m);
+    plicense = Obs.Exact;
   }
 
 let small_config =
@@ -235,6 +236,7 @@ let test_pipeline_times_out () =
               | _ -> ())
             f;
           "made the loop infinite");
+      plicense = Obs.Exact;
     }
   in
   let config = { small_config with Noelle.Pipeline.fuel = 20_000 } in
