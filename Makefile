@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta trace validate bench-json bench-gate
+.PHONY: check build test faultcheck lint verify-meta trace validate bounds bench-json bench-gate
 
 build:
 	dune build
@@ -41,11 +41,19 @@ trace: build
 validate: build
 	dune exec bin/noelle_validate.exe -- --seeds 10 -q
 
+# profile-free planning gates (DESIGN.md §13): interpreter-measured trip
+# counts must never exceed the static bounds (exactly equal on affine
+# loops), profile-free technique/chunk decisions must agree with
+# profile-driven ones on >= 80% of corpus loops, and the Psim speedup
+# geomean of the two plans must stay within 10%
+bounds: build
+	dune exec bin/noelle_bounds.exe -- --seeds 50 -q
+
 # machine-readable benchmark rows (wall ms + counter deltas per kernel),
 # plus the synthetic scaling comparison of the sparse analysis engine
 # against the naive solver/builder paths (DESIGN.md §11)
 bench-json: build
-	dune exec bench/main.exe -- --json figure3 scaling
+	dune exec bench/main.exe -- --json figure3 scaling bounds
 
 # smoke gate over the freshly regenerated bench JSON: the sparse engine
 # must actually have run (delta propagations and bucketing skips logged)
@@ -55,6 +63,8 @@ bench-gate: bench-json
 	grep -q '"andersen.delta_props"' BENCH_figure3.json
 	grep -q '"pdg.pairs_skipped_bucketing"' BENCH_figure3.json
 	grep -q '"andersen.delta_props"' BENCH_scaling.json
-	! grep -q 'degraded' BENCH_figure3.json BENCH_scaling.json
+	grep -q '"bounds.queries"' BENCH_bounds.json
+	grep -q '"bounds.loops_exact"' BENCH_bounds.json
+	! grep -q 'degraded' BENCH_figure3.json BENCH_scaling.json BENCH_bounds.json
 
-check: build test faultcheck lint verify-meta trace validate bench-gate
+check: build test faultcheck lint verify-meta trace validate bounds bench-gate

@@ -804,6 +804,68 @@ let scaling () =
     [ ("x4", 4); ("x16", 16) ]
 
 (* ------------------------------------------------------------------ *)
+(* Profile-free planning: Ir.Bounds vs the dynamic profile (§13)        *)
+(* ------------------------------------------------------------------ *)
+
+let bounds_section () =
+  banner "Profile-free planning: Ir.Bounds static bounds vs the dynamic profile";
+  Printf.printf "  %-14s %6s %6s %6s %6s %10s\n" "benchmark" "loops" "exact"
+    "upper" "unkn" "parity";
+  let total = ref 0 and agreed = ref 0 in
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) ->
+      bench_row ("plan-" ^ k.Bsuite.Kernels.kname) @@ fun () ->
+      let m = Bsuite.Kernels.compile k in
+      let p, _ = Noelle.Profiler.run ~fuel:k.Bsuite.Kernels.fuel m in
+      Noelle.Profiler.embed p m;
+      let n = Noelle.create m in
+      let exact = ref 0 and upper = ref 0 and unk = ref 0 in
+      List.iter
+        (fun f ->
+          let s = Noelle.bounds n f in
+          List.iter
+            (fun (lb : Ir.Bounds.loop_bound) ->
+              match lb.Ir.Bounds.lheadx with
+              | Ir.Bounds.Exact _ -> incr exact
+              | Ir.Bounds.Upper _ -> incr upper
+              | Ir.Bounds.Unknown | Ir.Bounds.Unbounded -> incr unk)
+            s.Ir.Bounds.floops)
+        (Ir.Irmod.defined_functions m);
+      let pairs =
+        Ntools.Planner.head_to_head n m ~ncores ~min_hotness:0.05
+          ~min_work:20000.0
+      in
+      let ag =
+        List.length
+          (List.filter (fun (_, a, b) -> Ntools.Planner.agree a b) pairs)
+      in
+      total := !total + List.length pairs;
+      agreed := !agreed + ag;
+      Printf.printf "  %-14s %6d %6d %6d %6d %7d/%d\n" k.Bsuite.Kernels.kname
+        (!exact + !upper + !unk) !exact !upper !unk ag (List.length pairs))
+    (corpus ());
+  Printf.printf "  decision parity: %d/%d corpus loops\n" !agreed !total;
+  (* Psim head-to-head on representative kernels: same DOALL tool, loops
+     selected and chunked from the profile vs from static bounds alone *)
+  List.iter
+    (fun name ->
+      match Bsuite.Kernels.find name with
+      | None -> ()
+      | Some k ->
+        let prof, _ =
+          bench_row ("psim-profiled-" ^ name) @@ fun () ->
+          speedup_of k (fun n m -> any_ok (Ntools.Doall.run n m ~ncores ()))
+        in
+        let stat, _ =
+          bench_row ("psim-static-" ^ name) @@ fun () ->
+          speedup_of k (fun n m ->
+              any_ok (Ntools.Doall.run n m ~ncores ~profile_free:true ()))
+        in
+        Printf.printf "  %-14s profiled %5.2fx  profile-free %5.2fx\n" name
+          prof stat)
+    [ "bitcount"; "dijkstra"; "blackscholes" ]
+
+(* ------------------------------------------------------------------ *)
 (* Optional: sequential test script (the paper's bash fallback, §2.4)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -833,6 +895,7 @@ let sections =
     ("ablation-aa", ablation_aa);
     ("trust", trust_section);
     ("scaling", scaling);
+    ("bounds", bounds_section);
     ("bechamel", bechamel_section) ]
 
 let () =

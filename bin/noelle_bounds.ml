@@ -1,0 +1,302 @@
+(** noelle-bounds — differential validation of the profile-free planner
+    (DESIGN.md §13).
+
+    Three gates, all of which must hold for exit 0:
+
+    1. {e Soundness and precision of the trip bounds.}  Over every
+       benchmark kernel and [--seeds] fuzz programs, the interpreter
+       counts header executions and loop invocations per natural loop
+       (an [on_block] hook); every constant static bound must satisfy
+       [measured <= bound * invocations], with exact equality for
+       [Exact] (affine) bounds, and loops {!Ir.Bounds} calls [Unbounded]
+       must never have run to completion.  The sweep fails if it proved
+       nothing — zero exercised affine loops is vacuous.
+    2. {e Decision parity.}  Profile-free technique selection
+       ({!Ntools.Planner.decide_static}) must agree with profile-driven
+       selection on at least 80% of corpus loops.
+    3. {e Speedup parity.}  Running the standard pass stack planned
+       statically vs planned from a profile, the Psim speedup ratio's
+       geomean must stay within 10%. *)
+
+open Cmdliner
+open Ir
+
+let ncores = 12
+let min_hotness = 0.05
+let min_work = 20000.0
+
+(* ------------------------------------------------------------------ *)
+(* Gate 1: interpreter-measured trips vs static bounds                  *)
+(* ------------------------------------------------------------------ *)
+
+(** Does [f] textually call itself?  Recursive activations interleave
+    blocks of the same function name, which confuses the last-block
+    invocation detector below — such functions are skipped, not checked. *)
+let self_recursive (f : Func.t) =
+  Func.fold_insts
+    (fun acc (i : Instr.inst) ->
+      acc
+      ||
+      match i.Instr.op with
+      | Instr.Call (Instr.Glob g, _) -> g = f.Func.fname
+      | _ -> false)
+    false f
+
+type measured = { mutable headx : int64; mutable invocations : int64 }
+
+(** Run [m] under an [on_block] hook, counting per-loop header executions
+    and loop invocations (a header execution entered from outside the
+    loop's blocks).  Returns the counts even if the run trapped (e.g. ran
+    out of fuel) — the boolean says whether it completed. *)
+let measure (m : Irmod.t) ~fuel :
+    (string * int, measured) Hashtbl.t * bool =
+  let counts : (string * int, measured) Hashtbl.t = Hashtbl.create 32 in
+  let loops_of : (string, (int * Loopnest.IntSet.t) list) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  List.iter
+    (fun (f : Func.t) ->
+      if not (self_recursive f) then begin
+        let nest = Loopnest.compute f in
+        Hashtbl.replace loops_of f.Func.fname
+          (List.map
+             (fun (l : Loopnest.loop) -> (l.Loopnest.header, l.Loopnest.blocks))
+             nest.Loopnest.loops);
+        List.iter
+          (fun (l : Loopnest.loop) ->
+            Hashtbl.replace counts
+              (f.Func.fname, l.Loopnest.header)
+              { headx = 0L; invocations = 0L })
+          nest.Loopnest.loops
+      end)
+    (Irmod.defined_functions m);
+  let last : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let on_block (f : Func.t) bid =
+    (match Hashtbl.find_opt loops_of f.Func.fname with
+    | None -> ()
+    | Some loops ->
+      List.iter
+        (fun (header, blocks) ->
+          if header = bid then begin
+            let c = Hashtbl.find counts (f.Func.fname, header) in
+            c.headx <- Int64.add c.headx 1L;
+            let from_outside =
+              match Hashtbl.find_opt last f.Func.fname with
+              | Some prev -> not (Loopnest.IntSet.mem prev blocks)
+              | None -> true
+            in
+            if from_outside then
+              c.invocations <- Int64.add c.invocations 1L
+          end)
+        loops);
+    Hashtbl.replace last f.Func.fname bid
+  in
+  let completed =
+    match
+      Interp.run_state ~fuel m ~configure:(fun st ->
+          st.Interp.hooks.Interp.on_block <- Some on_block)
+    with
+    | _ -> true
+    | exception Interp.Trap _ -> false
+  in
+  (counts, completed)
+
+(** Check one module's bounds against its measured trips.  [affine_hit]
+    counts exercised affine (exact-bound) loops across the sweep for the
+    vacuity gate; [upper_hit] likewise for diffcon upper bounds. *)
+let check_module ~failures ~affine_hit ~upper_hit (name : string)
+    (m : Irmod.t) ~fuel =
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let counts, completed = measure m ~fuel in
+  List.iter
+    (fun (f : Func.t) ->
+      if not (self_recursive f) then begin
+        let s = Bounds.analyze f in
+        List.iter
+          (fun (lb : Bounds.loop_bound) ->
+            match Hashtbl.find_opt counts (f.Func.fname, lb.Bounds.lheader) with
+            | None -> ()
+            | Some c -> (
+              match lb.Bounds.lheadx with
+              | Bounds.Unbounded ->
+                if completed && Int64.compare c.headx 0L > 0 then
+                  fail
+                    "%s: %s: loop claimed Unbounded yet the program entered \
+                     it (%Ld header executions) and terminated"
+                    name lb.Bounds.lkey c.headx
+              | Bounds.Unknown -> ()
+              | (Bounds.Exact _ | Bounds.Upper _) as trip -> (
+                match Bounds.trip_const trip with
+                | None -> ()  (* symbolic: no concrete value to compare *)
+                | Some b ->
+                  let budget = Int64.mul b c.invocations in
+                  if Int64.compare c.headx budget > 0 then
+                    fail
+                      "%s: %s: UNSOUND bound: measured %Ld header \
+                       executions over %Ld invocations, static bound %Ld \
+                       per invocation"
+                      name lb.Bounds.lkey c.headx c.invocations b
+                  else if Bounds.trip_is_exact trip then begin
+                    if Int64.compare c.invocations 0L > 0 then begin
+                      incr affine_hit;
+                      if completed && not (Int64.equal c.headx budget) then
+                        fail
+                          "%s: %s: IMPRECISE affine bound: measured %Ld \
+                           header executions over %Ld invocations, exact \
+                           claim was %Ld per invocation"
+                          name lb.Bounds.lkey c.headx c.invocations b
+                    end
+                  end
+                  else if Int64.compare c.invocations 0L > 0 then
+                    incr upper_hit)))
+          s.Bounds.floops
+      end)
+    (Irmod.defined_functions m)
+
+(* ------------------------------------------------------------------ *)
+(* Gates 2 + 3: profile-free vs profile-driven planning                 *)
+(* ------------------------------------------------------------------ *)
+
+type arm_result = { speedup : float; out_ok : bool }
+
+(** Speedup of the standard pass stack on [k], planned statically
+    ([no_profile]) or from an embedded profile. *)
+let arm (k : Bsuite.Kernels.kernel) ~no_profile : arm_result =
+  let fuel = k.Bsuite.Kernels.fuel in
+  let m = Bsuite.Kernels.compile k in
+  let _, ref_out, seq = Psim.Runtime.run_sequential ~fuel m in
+  if not no_profile then begin
+    let p, _ = Noelle.Profiler.run ~fuel m in
+    Noelle.Profiler.embed p m
+  end;
+  ignore
+    (Ntools.Passes.run_standard ~fuel:(4 * fuel) ~ncores ~min_hotness
+       ~min_work ~no_profile m);
+  let arch = Noelle.Arch.measure ~physical_cores:ncores () in
+  let _, out, par, _ = Psim.Runtime.run ~fuel:(4 * fuel) ~arch m in
+  {
+    speedup = Int64.to_float seq /. Int64.to_float par;
+    out_ok = String.equal out ref_out;
+  }
+
+let run limit seeds fuel skip_psim quiet =
+  let say fmt =
+    Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let kernels =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) Bsuite.Kernels.all
+    | None -> Bsuite.Kernels.all
+  in
+  (* -- gate 1: soundness / precision sweep -- *)
+  let affine_hit = ref 0 and upper_hit = ref 0 in
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) ->
+      let m = Bsuite.Kernels.compile k in
+      check_module ~failures ~affine_hit ~upper_hit k.Bsuite.Kernels.kname m
+        ~fuel:(4 * k.Bsuite.Kernels.fuel))
+    kernels;
+  for seed = 1 to seeds do
+    let name = Printf.sprintf "fuzz%d" seed in
+    let m = Minic.Lower.compile ~name (Bsuite.Generator.program seed) in
+    check_module ~failures ~affine_hit ~upper_hit name m ~fuel
+  done;
+  if !affine_hit = 0 then
+    fail
+      "no affine loop was exercised across %d kernels and %d fuzz seeds: \
+       the sweep proved nothing"
+      (List.length kernels) seeds;
+  say "bounds sweep: %d affine loops exact, %d diffcon upper bounds held\n"
+    !affine_hit !upper_hit;
+  (* -- gate 2: technique/chunk decision parity -- *)
+  let total = ref 0 and agreed = ref 0 in
+  let mismatches = ref [] in
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) ->
+      let m = Bsuite.Kernels.compile k in
+      let p, _ = Noelle.Profiler.run ~fuel:k.Bsuite.Kernels.fuel m in
+      Noelle.Profiler.embed p m;
+      let n = Noelle.create m in
+      List.iter
+        (fun (id, prof, stat) ->
+          incr total;
+          if Ntools.Planner.agree prof stat then incr agreed
+          else
+            mismatches :=
+              Printf.sprintf "%s: %s: profiled %s vs static %s"
+                k.Bsuite.Kernels.kname id
+                (Ntools.Planner.technique_to_string prof.Ntools.Planner.pd_tech)
+                (Ntools.Planner.technique_to_string stat.Ntools.Planner.pd_tech)
+              :: !mismatches)
+        (Ntools.Planner.head_to_head n m ~ncores ~min_hotness ~min_work))
+    kernels;
+  let rate =
+    if !total = 0 then 1.0 else float_of_int !agreed /. float_of_int !total
+  in
+  say "decision parity: %d/%d loops agree (%.0f%%)\n" !agreed !total
+    (100.0 *. rate);
+  List.iter (fun s -> say "  mismatch: %s\n" s) (List.rev !mismatches);
+  if rate < 0.8 then
+    fail "decision parity %.0f%% below the 80%% bar (%d/%d loops)"
+      (100.0 *. rate) !agreed !total;
+  (* -- gate 3: Psim speedup parity -- *)
+  if not skip_psim then begin
+    let log_sum = ref 0.0 and cnt = ref 0 in
+    List.iter
+      (fun (k : Bsuite.Kernels.kernel) ->
+        if k.Bsuite.Kernels.kname <> "deadcalls" then begin
+          let prof = arm k ~no_profile:false in
+          let stat = arm k ~no_profile:true in
+          if not prof.out_ok then
+            fail "%s: profiled arm changed program output" k.Bsuite.Kernels.kname;
+          if not stat.out_ok then
+            fail "%s: profile-free arm changed program output" k.Bsuite.Kernels.kname;
+          let ratio = stat.speedup /. prof.speedup in
+          log_sum := !log_sum +. log ratio;
+          incr cnt;
+          say "%-16s profiled %5.2fx  static %5.2fx  ratio %.3f\n"
+            k.Bsuite.Kernels.kname prof.speedup stat.speedup ratio
+        end)
+      kernels;
+    if !cnt > 0 then begin
+      let geomean = exp (!log_sum /. float_of_int !cnt) in
+      say "speedup geomean ratio (static/profiled): %.3f\n" geomean;
+      if geomean < 0.9 || geomean > 1.1 then
+        fail "speedup geomean ratio %.3f outside the 10%% band" geomean
+    end
+  end;
+  if !failures = [] then begin
+    say "bounds: sweep clean\n";
+    0
+  end
+  else begin
+    List.iter (Printf.eprintf "noelle-bounds: %s\n") (List.rev !failures);
+    1
+  end
+
+let limit =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+         ~doc:"validate only the first $(docv) kernels")
+let seeds =
+  Arg.(value & opt int 50 & info [ "seeds" ] ~docv:"N"
+         ~doc:"fuzz seeds to sweep in the soundness gate")
+let fuel =
+  Arg.(value & opt int 3_000_000 & info [ "fuel" ] ~docv:"N"
+         ~doc:"interpreter fuel per fuzz-program run (kernels use their \
+               own per-kernel budget)")
+let skip_psim =
+  Arg.(value & flag & info [ "skip-psim" ]
+         ~doc:"skip the Psim speedup-parity gate (soundness and decision \
+               parity only)")
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only report failures")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-bounds"
+       ~doc:"Differential validation of Ir.Bounds static loop bounds and \
+             the profile-free planner")
+    Term.(const run $ limit $ seeds $ fuel $ skip_psim $ quiet)
+
+let () = exit (Cmd.eval' cmd)

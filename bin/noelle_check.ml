@@ -16,7 +16,8 @@ let check_module ~checks ~json ~stats ~quiet (name : string) (m : Ir.Irmod.t) =
   end;
   List.length (Check.errors r)
 
-let run input fuzz_seed kernels checks json stats list_checks quiet =
+let run input fuzz_seed kernels checks complexity_budget flag_unbounded json
+    stats list_checks quiet =
   if list_checks then begin
     List.iter
       (fun (c : Check.checker) -> Printf.printf "%-20s %s\n" c.Check.cid c.Check.cdoc)
@@ -40,6 +41,16 @@ let run input fuzz_seed kernels checks json stats list_checks quiet =
         prerr_endline "noelle-check: need FILE.ir, --fuzz-seed, or --kernels";
         exit 2
     in
+    (* the complexity checker reads its configuration from module
+       metadata, so the flags just seed each target before the run *)
+    List.iter
+      (fun (_, (m : Ir.Irmod.t)) ->
+        (match complexity_budget with
+        | Some b -> Ir.Meta.set_int m.Ir.Irmod.meta "check.complexity.budget" b
+        | None -> ());
+        if flag_unbounded then
+          Ir.Meta.set m.Ir.Irmod.meta "check.complexity.flag-unbounded" "1")
+      targets;
     let errors =
       List.fold_left
         (fun acc (name, m) -> acc + check_module ~checks ~json ~stats ~quiet name m)
@@ -58,6 +69,14 @@ let kernels =
 let checks =
   Arg.(value & opt_all string [] & info [ "check"; "c" ] ~docv:"ID"
          ~doc:"run only checker $(docv) (repeatable; default: all)")
+let complexity_budget =
+  Arg.(value & opt (some int) None & info [ "complexity-budget" ] ~docv:"N"
+         ~doc:"trip-count budget for the complexity checker (default 1000000): \
+               loops whose static bound exceeds $(docv) are flagged")
+let flag_unbounded =
+  Arg.(value & flag & info [ "flag-unbounded" ]
+         ~doc:"complexity checker also flags loops with no exit edge \
+               (provably unable to terminate)")
 let json =
   Arg.(value & flag & info [ "json" ] ~doc:"emit the report as JSON")
 let stats =
@@ -71,7 +90,7 @@ let cmd =
   Cmd.v
     (Cmd.info "noelle-check"
        ~doc:"Static race detector and IR sanitizer suite over NOELLE abstractions")
-    Term.(const run $ input $ fuzz_seed $ kernels $ checks $ json $ stats
-          $ list_checks $ quiet)
+    Term.(const run $ input $ fuzz_seed $ kernels $ checks $ complexity_budget
+          $ flag_unbounded $ json $ stats $ list_checks $ quiet)
 
 let () = exit (Cmd.eval' cmd)

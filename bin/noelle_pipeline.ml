@@ -6,8 +6,8 @@
 open Cmdliner
 
 let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
-    analysis_budget check_races verify_meta legacy_differential trace_diff
-    output quiet =
+    analysis_budget check_races no_profile verify_meta legacy_differential
+    trace_diff output quiet =
   let m =
     match (input, fuzz_seed) with
     | Some f, _ -> Ir.Parser.parse_file f
@@ -21,7 +21,7 @@ let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   let report =
     Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ~check_races
-      ?analysis_budget ~verify_meta ~legacy_differential m
+      ~no_profile ?analysis_budget ~verify_meta ~legacy_differential m
   in
   print_string (Noelle.Pipeline.report_to_string report);
   if trace_diff then
@@ -82,6 +82,11 @@ let check_races =
   Arg.(value & flag & info [ "check-races" ]
          ~doc:"pre-flight gate: refuse to parallelize any loop the \
                noelle-check race detector flags")
+let no_profile =
+  Arg.(value & flag & info [ "no-profile" ]
+         ~doc:"profile-free planning: the parallelizers select loops and \
+               pick chunk sizes from Ir.Bounds static trip counts and cost \
+               polynomials instead of embedded profile metadata")
 let verify_meta =
   Arg.(value & flag & info [ "verify-meta" ]
          ~doc:"metadata trust gate: quarantine embedded analysis artifacts \
@@ -103,7 +108,7 @@ let cmd =
     (Cmd.info "noelle-pipeline"
        ~doc:"Transactional pass pipeline with verification and differential gates")
     Term.(const run $ input $ fuzz_seed $ inputs $ fuel $ inject_seed $ psim_fault_seed
-          $ persistent_tid $ analysis_budget $ check_races $ verify_meta
-          $ legacy_differential $ trace_diff $ output $ quiet)
+          $ persistent_tid $ analysis_budget $ check_races $ no_profile
+          $ verify_meta $ legacy_differential $ trace_diff $ output $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -51,8 +51,9 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
     metrics_out
     (List.length (Noelle.Telemetry.metrics ()));
   List.iter (fun (cat, n) -> Printf.printf "  layer %-10s %d spans\n" cat n) layers;
-  (* the sparse analysis engine (DESIGN.md §11) and the observable-event
-     oracle (§12) must have been exercised: their counters are registered
+  (* the sparse analysis engine (DESIGN.md §11), the observable-event
+     oracle (§12) and the profile-free bounds analysis (§13) must have
+     been exercised: their counters are registered
      (possibly at zero) whenever the worklist solver, the bucketed PDG
      builder, fingerprint-keyed invalidation, the trace-equivalence gate
      and the Psim replay protocol actually ran, so a missing counter
@@ -65,7 +66,8 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
         "pdg.pairs_skipped_bucketing"; "pdg.alias_memo_hits";
         "noelle.invalidate.kept";
         "obs.events"; "obs.trace_compares"; "obs.reorders_rejected";
-        "psim.replay_validated" ]
+        "psim.replay_validated";
+        "bounds.queries"; "bounds.loops_exact" ]
   in
   Noelle.Telemetry.uninstall ();
   if check && List.length layers < 3 then begin

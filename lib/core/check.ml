@@ -570,6 +570,70 @@ let oob : checker =
   }
 
 (* ------------------------------------------------------------------ *)
+(* complexity: static loop bounds against a budget                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Flag loops whose {!Bounds} static trip bound exceeds a configurable
+    budget ([check.complexity.budget] metadata, default 1,000,000), and —
+    on request via [check.complexity.flag-unbounded] — loops that are
+    structurally unable to terminate.  Symbolic and [Unknown] bounds are
+    never flagged: the checker reports only what the analysis proved, so
+    it stays clean on code it cannot bound rather than guessing. *)
+let complexity : checker =
+  {
+    cid = "complexity";
+    cdoc =
+      "loops whose static trip bound (Ir.Bounds, profile-free) exceeds the \
+       complexity budget, plus provably unbounded loops on request";
+    crun =
+      (fun ctx ->
+        let m = ctx.cm in
+        let budget =
+          match Meta.get_int m.Irmod.meta "check.complexity.budget" with
+          | Some b -> Int64.of_int b
+          | None -> 1_000_000L
+        in
+        let flag_unbounded =
+          Meta.mem m.Irmod.meta "check.complexity.flag-unbounded"
+        in
+        List.concat_map
+          (fun (f : Func.t) ->
+            let s = Bounds.analyze f in
+            List.filter_map
+              (fun (lb : Bounds.loop_bound) ->
+                let anchor =
+                  match Func.terminator f lb.Bounds.lheader with
+                  | Some i -> i
+                  | None -> Func.inst f (List.hd (Func.block f lb.Bounds.lheader).Func.insts)
+                in
+                match lb.Bounds.lheadx with
+                | Bounds.Unbounded when flag_unbounded ->
+                  Some
+                    (mk ~did:"complexity.unbounded" ~sev:Warning f anchor
+                       (Printf.sprintf
+                          "loop %s: no exit edge — the loop cannot terminate"
+                          lb.Bounds.lkey)
+                       [])
+                | (Bounds.Exact _ | Bounds.Upper _) as trip -> (
+                  match Bounds.trip_const trip with
+                  | Some n when Int64.compare n budget > 0 ->
+                    Some
+                      (mk ~did:"complexity.budget" ~sev:Warning f anchor
+                         (Printf.sprintf
+                            "loop %s: static trip bound %s exceeds the \
+                             complexity budget %Ld"
+                            lb.Bounds.lkey
+                            (Bounds.trip_to_string trip) budget)
+                         [ Printf.sprintf "cost estimate: %s instructions \
+                                           per invocation"
+                             (Bounds.cost_to_string lb.Bounds.lcost) ])
+                  | _ -> None)
+                | _ -> None)
+              s.Bounds.floops)
+          (Irmod.defined_functions m));
+  }
+
+(* ------------------------------------------------------------------ *)
 (* meta.verify: trust audit of embedded analysis artifacts             *)
 (* ------------------------------------------------------------------ *)
 
@@ -611,7 +675,7 @@ let meta_verify : checker =
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
 
-let all : checker list = [ race; uninit; dead_store; heap; oob; meta_verify ]
+let all : checker list = [ race; uninit; dead_store; heap; oob; complexity; meta_verify ]
 let checker_ids = List.map (fun c -> c.cid) all
 
 (** Run the selected checkers (all by default) over [m].  Each checker is

@@ -72,6 +72,8 @@ type t = {
   pdgs : (string, cached_pdg) Hashtbl.t;
   nests : (string, string * Loopnest.t) Hashtbl.t;
       (** function fingerprint at compute time, nest *)
+  bounds_ : (string, string * Bounds.summary) Hashtbl.t;
+      (** function fingerprint at compute time, symbolic loop bounds *)
   mutable cg : (string * Callgraph.t) option;
       (** module fingerprint at compute time, graph *)
   mutable arch_ : Arch.t option;
@@ -95,6 +97,7 @@ let create ?(use_noelle_aa = true) ?analysis_budget ?(trust_mode = Trust.Degrade
     andersen = None;
     pdgs = Hashtbl.create 16;
     nests = Hashtbl.create 16;
+    bounds_ = Hashtbl.create 16;
     cg = None;
     arch_ = None;
     trust_mode;
@@ -213,6 +216,16 @@ let invalidate (t : t) =
       end)
     t.nests;
   List.iter (Hashtbl.remove t.nests) !stale_nests;
+  let stale_bounds = ref [] in
+  Hashtbl.iter
+    (fun fn (bfp, _) ->
+      if fp_of fn = Some bfp then incr kept
+      else begin
+        incr dropped;
+        stale_bounds := fn :: !stale_bounds
+      end)
+    t.bounds_;
+  List.iter (Hashtbl.remove t.bounds_) !stale_bounds;
   Trace.touch "noelle.invalidate.kept";
   Trace.add "noelle.invalidate.kept" !kept;
   Trace.add "noelle.invalidate.dropped" !dropped;
@@ -342,6 +355,21 @@ let loopnest (t : t) (f : Func.t) : Loopnest.t =
     in
     Hashtbl.replace t.nests f.Func.fname (Fingerprint.func_fp f, n);
     n
+
+(** Symbolic loop-bound and cost summary of [f] (BND; demand-driven,
+    cached, fingerprint-keyed like PDGs so stale bounds cannot steer
+    chunking after an edit). *)
+let bounds (t : t) (f : Func.t) : Bounds.summary =
+  record t "BND";
+  match Hashtbl.find_opt t.bounds_ f.Func.fname with
+  | Some (_, s) ->
+    hit "bounds";
+    s
+  | None ->
+    miss "bounds";
+    let s = Bounds.analyze f in
+    Hashtbl.replace t.bounds_ f.Func.fname (Fingerprint.func_fp f, s);
+    s
 
 (** Loop structures (LS) of every loop in [f]. *)
 let loop_structures (t : t) (f : Func.t) : Loopstructure.t list =

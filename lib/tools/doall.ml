@@ -233,7 +233,7 @@ let transform (n : Noelle.t) (m : Irmod.t) (plan : plan) ~(ncores : int) :
 (** Try to DOALL-parallelize the hottest eligible loop of each function
     (skipping generated task functions).  Returns per-loop outcomes. *)
 let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_work = 20000.0)
-    ?(skip = fun (_ : string) -> false) () :
+    ?(profile_free = false) ?(skip = fun (_ : string) -> false) () :
     (string * (stats, string) result) list =
   Noelle.set_tool n "DOALL";
   let results = ref [] in
@@ -248,12 +248,19 @@ let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_
       (fun (f : Func.t) ->
         if not (String.contains f.Func.fname '.') then begin
           Noelle.profiler n;
+          (* static bounds are queried unconditionally: planning telemetry
+             stays observable even on the profile-driven path *)
+          ignore (Noelle.bounds n f);
           let loops = Noelle.loops n f in
+          let selected lp =
+            if profile_free then
+              Parutil.profitable_static n f (Loop.structure lp) ~min_work
+            else Parutil.profitable m (Loop.structure lp) ~min_hotness ~min_work
+          in
           let eligible =
             List.filter
               (fun lp ->
-                (not (Hashtbl.mem attempted (Loop.id lp)))
-                && Parutil.profitable m (Loop.structure lp) ~min_hotness ~min_work)
+                (not (Hashtbl.mem attempted (Loop.id lp))) && selected lp)
               loops
           in
           (* prefer outermost hot loops *)
@@ -285,7 +292,12 @@ let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_
                   results := (id, Error e) :: !results;
                   try_loops rest
                 | Ok plan ->
-                  let s = transform n m plan ~ncores in
+                  let loop_cores =
+                    if profile_free then
+                      Parutil.static_chunk n f (Loop.structure lp) ~ncores
+                    else ncores
+                  in
+                  let s = transform n m plan ~ncores:loop_cores in
                   results := (id, Ok s) :: !results;
                   (* analyses for this function are stale: next round *)
                   progress := true))

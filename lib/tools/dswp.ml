@@ -505,7 +505,8 @@ let transform (n : Noelle.t) (m : Irmod.t) (plan : plan) : stats =
 
 (** Run DSWP over the hottest eligible loops. *)
 let run (n : Noelle.t) (m : Irmod.t) ?(max_stages = 3) ?(min_hotness = 0.05)
-    ?(min_work = 20000.0) ?(skip = fun (_ : string) -> false) () :
+    ?(min_work = 20000.0) ?(profile_free = false)
+    ?(skip = fun (_ : string) -> false) () :
     (string * (stats, string) result) list =
   Noelle.set_tool n "DSWP";
   let results = ref [] in
@@ -517,11 +518,15 @@ let run (n : Noelle.t) (m : Irmod.t) ?(max_stages = 3) ?(min_hotness = 0.05)
       (fun (f : Func.t) ->
         if not (String.contains f.Func.fname '.') then begin
           Noelle.profiler n;
+          let selected lp =
+            if profile_free then
+              Parutil.profitable_static n f (Loop.structure lp) ~min_work
+            else Parutil.profitable m (Loop.structure lp) ~min_hotness ~min_work
+          in
           let eligible =
             List.filter
               (fun lp ->
-                (not (Hashtbl.mem attempted (Loop.id lp)))
-                && Parutil.profitable m (Loop.structure lp) ~min_hotness ~min_work)
+                (not (Hashtbl.mem attempted (Loop.id lp))) && selected lp)
               (Noelle.loops n f)
             |> List.sort
                  (fun a b ->

@@ -410,7 +410,7 @@ let transform (n : Noelle.t) (m : Irmod.t) (plan : plan) ~(ncores : int) : stats
 
 (** Run HELIX over the hottest eligible loops of the module. *)
 let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_work = 20000.0)
-    ?(skip = fun (_ : string) -> false) () :
+    ?(profile_free = false) ?(skip = fun (_ : string) -> false) () :
     (string * (stats, string) result) list =
   Noelle.set_tool n "HELIX";
   let results = ref [] in
@@ -423,11 +423,15 @@ let run (n : Noelle.t) (m : Irmod.t) ?(ncores = 12) ?(min_hotness = 0.05) ?(min_
         if not (String.contains f.Func.fname '.') then begin
           Noelle.profiler n;
           let loops = Noelle.loops n f in
+          let selected lp =
+            if profile_free then
+              Parutil.profitable_static n f (Loop.structure lp) ~min_work
+            else Parutil.profitable m (Loop.structure lp) ~min_hotness ~min_work
+          in
           let eligible =
             List.filter
               (fun lp ->
-                (not (Hashtbl.mem attempted (Loop.id lp)))
-                && Parutil.profitable m (Loop.structure lp) ~min_hotness ~min_work)
+                (not (Hashtbl.mem attempted (Loop.id lp))) && selected lp)
               loops
             |> List.sort
                  (fun a b ->

@@ -45,6 +45,39 @@ let profitable (m : Irmod.t) (ls : Loopstructure.t) ~min_hotness ~min_work =
      let inv = Int64.to_float (Int64.max 1L (Profiler.loop_invocations m ls)) in
      Int64.to_float (Profiler.loop_insts m ls) /. inv >= min_work)
 
+(** Profile-free loop selection (DESIGN.md §13): the same work gate as
+    {!profitable}, answered from {!Bounds} static cost polynomials instead
+    of the interpreter profile.  A constant-evaluable cost estimate below
+    [min_work] rejects the loop; symbolic or lattice-top costs are
+    optimistic — exactly mirroring how {!profitable} accepts everything
+    when no profile is available.  Hotness has no static analogue, so the
+    static planner plans every structurally eligible loop the work gate
+    admits. *)
+let profitable_static (n : Noelle.t) (f : Func.t) (ls : Loopstructure.t)
+    ~min_work =
+  let s = Noelle.bounds n f in
+  match Bounds.find s ~header:ls.Loopstructure.header with
+  | None -> true
+  | Some lb -> (
+    match Bounds.cost_const lb.Bounds.lcost with
+    | Some w -> Int64.to_float w >= min_work
+    | None -> true)
+
+(** Profile-free DOALL chunk choice: when the static trip bound proves the
+    loop runs fewer iterations than there are cores, spawning the full
+    complement only buys idle tasks — clamp to the bound. *)
+let static_chunk (n : Noelle.t) (f : Func.t) (ls : Loopstructure.t) ~ncores =
+  let s = Noelle.bounds n f in
+  match Bounds.find s ~header:ls.Loopstructure.header with
+  | Some lb -> (
+    match Bounds.trip_const lb.Bounds.liters with
+    | Some t
+      when Int64.compare t 0L > 0
+           && Int64.compare t (Int64.of_int ncores) < 0 ->
+      Int64.to_int t
+    | _ -> ncores)
+  | None -> ncores
+
 (** Structural requirements shared by all three parallelizers: while-shaped
     loop, unique exit edge leaving from the header, governing IV with a
     constant nonzero step consistent with the exit predicate. *)

@@ -57,33 +57,41 @@ let gate check_races m =
    license at all — their gates stay event-exact. *)
 
 let doall ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
-    (n : Noelle.t) =
+    ?(no_profile = false) (n : Noelle.t) =
   mk ~license:Obs.Permute_iterations "doall" (fun m ->
-      par_summary (Doall.run n m ~ncores ~min_hotness ~min_work ~skip:(gate check_races m) ()))
+      par_summary
+        (Doall.run n m ~ncores ~min_hotness ~min_work ~profile_free:no_profile
+           ~skip:(gate check_races m) ()))
 
 let helix ?(ncores = 4) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
-    (n : Noelle.t) =
+    ?(no_profile = false) (n : Noelle.t) =
   mk ~license:Obs.Seq_segments "helix" (fun m ->
-      par_summary (Helix.run n m ~ncores ~min_hotness ~min_work ~skip:(gate check_races m) ()))
+      par_summary
+        (Helix.run n m ~ncores ~min_hotness ~min_work ~profile_free:no_profile
+           ~skip:(gate check_races m) ()))
 
 let dswp ?(max_stages = 3) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races = false)
-    (n : Noelle.t) =
+    ?(no_profile = false) (n : Noelle.t) =
   mk ~license:Obs.Buffer_stages "dswp" (fun m ->
-      par_summary (Dswp.run n m ~max_stages ~min_hotness ~min_work ~skip:(gate check_races m) ()))
+      par_summary
+        (Dswp.run n m ~max_stages ~min_hotness ~min_work ~profile_free:no_profile
+           ~skip:(gate check_races m) ()))
 
 (** The standard stack: cleanups first, then the parallelizers from the
     most to the least restrictive form (DOALL, HELIX, DSWP), each picking
     up loops its predecessors left sequential.  With [check_races] set,
     every loop the static race detector flags is refused up front
-    ([noelle-pipeline --check-races]). *)
-let standard ?ncores ?min_hotness ?min_work ?check_races (n : Noelle.t) :
-    Noelle.Pipeline.pass list =
+    ([noelle-pipeline --check-races]).  With [no_profile] set the
+    parallelizers plan from static {!Bounds} instead of embedded profile
+    metadata ([noelle-pipeline --no-profile]). *)
+let standard ?ncores ?min_hotness ?min_work ?check_races ?no_profile
+    (n : Noelle.t) : Noelle.Pipeline.pass list =
   [
     licm n;
     dead n;
-    doall ?ncores ?min_hotness ?min_work ?check_races n;
-    helix ?ncores ?min_hotness ?min_work ?check_races n;
-    dswp ?min_hotness ?min_work ?check_races n;
+    doall ?ncores ?min_hotness ?min_work ?check_races ?no_profile n;
+    helix ?ncores ?min_hotness ?min_work ?check_races ?no_profile n;
+    dswp ?min_hotness ?min_work ?check_races ?no_profile n;
   ]
 
 (** Pipeline configuration for this stack: Psim-backed differential runs
@@ -108,15 +116,15 @@ let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false)
     report; [m] holds the surviving (verified, behaviour-preserving)
     module. *)
 let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
-    ?check_races ?analysis_budget ?(verify_meta = false) ?legacy_differential
-    (m : Irmod.t) =
+    ?check_races ?no_profile ?analysis_budget ?(verify_meta = false)
+    ?legacy_differential (m : Irmod.t) =
   Trace.span ~cat:"pipeline" "pipeline.standard" @@ fun () ->
   let n = Noelle.create ?analysis_budget m in
   let report =
     Noelle.Pipeline.run
       ~config:(config ?inputs ?fuel ~verify_meta ?legacy_differential n)
       ?inject:inject_seed m
-      (standard ?ncores ?min_hotness ?min_work ?check_races n)
+      (standard ?ncores ?min_hotness ?min_work ?check_races ?no_profile n)
   in
   (* close the quarantine-and-recompute loop: artifacts the transaction
      commits invalidated get re-embedded fresh, so the module leaves the
