@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta trace validate bounds bench-json bench-gate
+.PHONY: check build test faultcheck lint verify-meta trace validate bounds serve bench-json bench-gate
 
 build:
 	dune build
@@ -31,7 +31,8 @@ verify-meta: build
 # kernel; the trace must round-trip through the repo's own JSON parser and
 # carry spans from at least 3 layers (analyses, pipeline passes, psim tasks)
 trace: build
-	dune exec bin/noelle_trace.exe -- --kernel histogram --check -q
+	dune exec bin/noelle_trace.exe -- --kernel histogram --check \
+	  --serve-metrics serve_metrics.json -q
 
 # translation validation (DESIGN.md §12): the full pass stack must clear
 # the trace-equivalence gate on every kernel with zero rollbacks, every
@@ -49,11 +50,22 @@ validate: build
 bounds: build
 	dune exec bin/noelle_bounds.exe -- --seeds 50 -q
 
+# analysis-as-a-service gates (DESIGN.md §14): workload replay must answer
+# from the persistent store across a process restart; the 50-seed
+# kill-and-recover soak must produce answers identical to cold runs with
+# every corrupt artifact quarantined; overload must shed to conservative
+# (never wrong) degraded answers.  The final run leaves serve_metrics.json
+# for noelle-trace --check.
+serve: build
+	dune exec bin/noelle_serve.exe -- -q
+	dune exec bin/noelle_serve.exe -- --overload --requests 200 -q
+	dune exec bin/noelle_serve.exe -- --faults --seeds 50 -q
+
 # machine-readable benchmark rows (wall ms + counter deltas per kernel),
 # plus the synthetic scaling comparison of the sparse analysis engine
 # against the naive solver/builder paths (DESIGN.md §11)
 bench-json: build
-	dune exec bench/main.exe -- --json figure3 scaling bounds
+	dune exec bench/main.exe -- --json figure3 scaling bounds serve
 
 # smoke gate over the freshly regenerated bench JSON: the sparse engine
 # must actually have run (delta propagations and bucketing skips logged)
@@ -66,5 +78,11 @@ bench-gate: bench-json
 	grep -q '"bounds.queries"' BENCH_bounds.json
 	grep -q '"bounds.loops_exact"' BENCH_bounds.json
 	! grep -q 'degraded' BENCH_figure3.json BENCH_scaling.json BENCH_bounds.json
+	grep -q '"serve.queries"' BENCH_serve.json
+	grep -q '"serve.store.hits"' BENCH_serve.json
+	grep -q '"serve.shed"' BENCH_serve.json
+	grep -q '"serve.quarantined"' BENCH_serve.json
+	grep -q '"serve.bench.qps"' BENCH_serve.json
+	grep -q '"serve.bench.recovery_us"' BENCH_serve.json
 
-check: build test faultcheck lint verify-meta trace validate bounds bench-gate
+check: build test faultcheck lint verify-meta serve trace validate bounds bench-gate

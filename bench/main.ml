@@ -866,6 +866,88 @@ let bounds_section () =
     [ "bitcount"; "dijkstra"; "blackscholes" ]
 
 (* ------------------------------------------------------------------ *)
+(* Serve: analysis-as-a-service store, recovery, shedding (§14)         *)
+(* ------------------------------------------------------------------ *)
+
+let serve_corpus mods =
+  List.filter_map
+    (fun name ->
+      match Bsuite.Kernels.find name with
+      | Some k when List.mem name mods -> Some (name, Bsuite.Kernels.compile k)
+      | _ -> None)
+    Serve.Workload.default_pool
+
+(** Derived service metrics ride the counter registry so they land in
+    BENCH_serve.json's counter deltas (make bench-gate greps them). *)
+let serve_metric name v = Ir.Trace.add name (max 1 v)
+
+let serve_section () =
+  banner "Analysis-as-a-service: noelle-serve store, recovery, shedding";
+  let root = "_serve/bench" in
+  Serve.Store.remove_tree root;
+  (* cold run then a "process restart" against the warm store: the gap in
+     computed-count is what the persistent store buys across processes *)
+  bench_row "serve-replay" (fun () ->
+      let mods = Serve.Workload.pick_modules ~seed:0 ~count:4 in
+      let w = Serve.Workload.generate ~seed:0 ~mods ~requests:150 in
+      let rroot = Filename.concat root "replay" in
+      let sv = Serve.create ~root:rroot (serve_corpus mods) in
+      let r1 = Serve.run sv w () in
+      Serve.Store.close sv.Serve.store;
+      let sv2 = Serve.create ~root:rroot (serve_corpus mods) in
+      let r2 = Serve.run sv2 w () in
+      Serve.Store.close sv2.Serve.store;
+      let qps =
+        if r2.Serve.rwall_ms <= 0. then 0
+        else
+          int_of_float
+            (float_of_int r2.Serve.rqueries /. (r2.Serve.rwall_ms /. 1000.))
+      in
+      serve_metric "serve.bench.qps" qps;
+      serve_metric "serve.bench.hit_pct" (100 * r2.Serve.rhits / max 1 r2.Serve.rqueries);
+      Printf.printf
+        "  replay: %d requests | cold hits=%d computed=%d %.1fms | warm \
+         hits=%d computed=%d %.1fms (%d queries/s)\n"
+        r1.Serve.rserved r1.Serve.rhits r1.Serve.rcomputed r1.Serve.rwall_ms
+        r2.Serve.rhits r2.Serve.rcomputed r2.Serve.rwall_ms qps);
+  (* overload: arrivals outpace service; the breaker sheds load *)
+  bench_row "serve-overload" (fun () ->
+      let ok, r =
+        Serve.overload
+          ~corpus_of:(fun () -> serve_corpus Serve.Workload.default_pool)
+          ~root ~seed:0 ~modules:3 ~requests:200 ()
+      in
+      serve_metric "serve.bench.shed_pct" (100 * r.Serve.rshed / max 1 r.Serve.rqueries);
+      Printf.printf
+        "  overload: shed %d/%d queries (max backlog %d, breaker opened \
+         %dx, conservative: %s)\n"
+        r.Serve.rshed r.Serve.rqueries r.Serve.rmax_backlog
+        r.Serve.rbreaker_opens
+        (if ok then "yes" else "VIOLATED"));
+  (* kill-and-recover: mean store recovery time over a small soak *)
+  bench_row "serve-recovery" (fun () ->
+      let _, stats, _ =
+        Serve.soak
+          ~corpus_of:(fun () -> serve_corpus Serve.Workload.default_pool)
+          ~root:(Filename.concat root "soak") ~seeds:10 ~modules:3
+          ~requests:40
+          ~progress:(fun _ -> ())
+          ()
+      in
+      let per_rec_us =
+        if stats.Serve.t_recoveries = 0 then 0
+        else
+          int_of_float
+            (1000. *. stats.Serve.t_recovery_ms
+            /. float_of_int stats.Serve.t_recoveries)
+      in
+      serve_metric "serve.bench.recovery_us" per_rec_us;
+      Printf.printf
+        "  recovery: %d kills over %d seeds, %d recoveries, %.0fus each\n"
+        stats.Serve.t_kills stats.Serve.t_seeds stats.Serve.t_recoveries
+        (float_of_int per_rec_us))
+
+(* ------------------------------------------------------------------ *)
 (* Optional: sequential test script (the paper's bash fallback, §2.4)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -896,6 +978,7 @@ let sections =
     ("trust", trust_section);
     ("scaling", scaling);
     ("bounds", bounds_section);
+    ("serve", serve_section);
     ("bechamel", bechamel_section) ]
 
 let () =

@@ -30,7 +30,30 @@ let compare_cmd a b =
   if differing = 0 then print_endline "no metric changed";
   0
 
-let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
+(** The serve loop runs in its own process (noelle-serve), so its
+    counters cannot appear in this process's registry — [--check]
+    validates them from the metrics dump noelle-serve wrote ([make
+    serve] runs before [make trace] in [make check]).  A missing dump is
+    only an error when the path was given explicitly. *)
+let check_serve_metrics ~explicit path : string list =
+  if not (Sys.file_exists path) then
+    if explicit then [ Printf.sprintf "serve metrics dump %s missing" path ]
+    else []
+  else
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let names = List.map fst (Noelle.Telemetry.parse_metrics s) in
+    List.filter_map
+      (fun c ->
+        if List.mem c names then None
+        else Some (Printf.sprintf "%s (in %s)" c path))
+      [ "serve.requests"; "serve.queries"; "serve.store.hits";
+        "serve.store.writes"; "serve.shed"; "serve.recoveries";
+        "serve.quarantined" ]
+
+let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
+    serve_metrics quiet =
   let m = load input fuzz_seed kernel in
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   Noelle.Telemetry.install ();
@@ -70,6 +93,12 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
         "bounds.queries"; "bounds.loops_exact" ]
   in
   Noelle.Telemetry.uninstall ();
+  let serve_missing =
+    if check then
+      check_serve_metrics ~explicit:(serve_metrics <> None)
+        (Option.value ~default:"serve_metrics.json" serve_metrics)
+    else []
+  in
   if check && List.length layers < 3 then begin
     Printf.eprintf
       "noelle-trace: expected spans from at least 3 layers, got %d (%s)\n"
@@ -82,17 +111,25 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet =
       (String.concat ", " missing);
     1
   end
+  else if check && serve_missing <> [] then begin
+    Printf.eprintf "noelle-trace: serve counters missing: %s\n"
+      (String.concat ", " serve_missing);
+    1
+  end
   else if check && not report.Noelle.Pipeline.final_ok then 1
   else 0
 
-let run input pos1 fuzz_seed kernel inputs fuel out metrics_out compare check quiet =
+let run input pos1 fuzz_seed kernel inputs fuel out metrics_out compare check
+    serve_metrics quiet =
   if compare then
     match (input, pos1) with
     | Some a, Some b -> compare_cmd a b
     | _ ->
       prerr_endline "noelle-trace: --compare needs two metrics files: A.json B.json";
       2
-  else trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check quiet
+  else
+    trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
+      serve_metrics quiet
 
 let input = Arg.(value & pos 0 (some string) None & info [] ~docv:"FILE.ir")
 let pos1 = Arg.(value & pos 1 (some string) None & info [] ~docv:"B.json")
@@ -122,6 +159,11 @@ let check =
          ~doc:"fail unless spans from at least 3 layers are present, the \
                sparse-engine counters are registered, and the pipeline \
                survived its gates (CI smoke mode)")
+let serve_metrics =
+  Arg.(value & opt (some string) None & info [ "serve-metrics" ] ~docv:"FILE.json"
+         ~doc:"with --check, also validate the serve.* counters from this \
+               noelle-serve metrics dump (default serve_metrics.json, \
+               skipped when absent unless given explicitly)")
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"suppress the pipeline report")
 
 let cmd =
@@ -129,6 +171,6 @@ let cmd =
     (Cmd.info "noelle-trace"
        ~doc:"Run the standard pass stack under tracing; export Chrome trace + metrics")
     Term.(const run $ input $ pos1 $ fuzz_seed $ kernel $ inputs $ fuel $ out
-          $ metrics_out $ compare $ check $ quiet)
+          $ metrics_out $ compare $ check $ serve_metrics $ quiet)
 
 let () = exit (Cmd.eval' cmd)

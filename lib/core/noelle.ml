@@ -84,6 +84,13 @@ type t = {
   mutable trust_log : Trust.event list;  (** newest first *)
   mutable fast_reloads : int;
       (** embedded artifacts reloaded through a verified stamp *)
+  mutable artifact_sink :
+    (kind:string -> fn:string -> fp:string -> payload:string -> unit) option;
+      (** store hook (DESIGN.md §14): called once for every exact artifact
+          this manager computes from scratch (PDGs that are neither
+          degraded nor metadata reloads, loop-bound summaries), with the
+          canonical payload rendering — [Serve.Store] installs one to
+          persist artifacts as they are produced *)
 }
 
 let create ?(use_noelle_aa = true) ?analysis_budget ?(trust_mode = Trust.Degrade)
@@ -103,7 +110,16 @@ let create ?(use_noelle_aa = true) ?analysis_budget ?(trust_mode = Trust.Degrade
     trust_mode;
     trust_log = [];
     fast_reloads = 0;
+    artifact_sink = None;
   }
+
+(** Install (or clear) the artifact store hook; see {!field-artifact_sink}. *)
+let set_artifact_sink (t : t) sink = t.artifact_sink <- sink
+
+let sink_artifact (t : t) ~kind ~fn ~fp ~payload =
+  match t.artifact_sink with
+  | Some sink -> sink ~kind ~fn ~fp ~payload
+  | None -> ()
 
 (** Set the name of the tool issuing subsequent requests (Table 4 rows). *)
 let set_tool (t : t) name = t.tool <- name
@@ -151,6 +167,37 @@ let distrust (t : t) (e : Trust.event) =
   | Trust.Strict -> raise (Trust.Tainted (Trust.event_to_string e))
   | Trust.Degrade -> Trust.quarantine t.m.Irmod.meta ~prefix:e.Trust.aprefix
 
+(** The single audited keep/quarantine decision for a fingerprint-stamped
+    artifact, shared by {!invalidate}'s per-function cache tables (PDGs,
+    loop nests, bounds) and the serve layer's on-disk store: an artifact
+    may be served only while the fingerprint of the code it was computed
+    from still matches the code as it stands now.  [current = None] means
+    the subject is gone (function removed, or demoted to a declaration) —
+    never keep. *)
+let reconcile_artifact ~(current : string option) ~(stamped : string) :
+    [ `Keep | `Drop ] =
+  match current with Some fp when fp = stamped -> `Keep | _ -> `Drop
+
+(* Sweep one per-function cache table through {!reconcile_artifact}:
+   entries whose function fingerprint no longer matches are removed.
+   [entry_fp] projects the stamped fingerprint out of an entry; [on_keep]
+   runs for survivors (PDGs use it to mark points-to-suspect entries).
+   Returns (kept, dropped). *)
+let reconcile_tbl (type v) ~(fp_of : string -> string option)
+    ~(entry_fp : v -> string) ?(on_keep = fun (_ : v) -> ())
+    (tbl : (string, v) Hashtbl.t) : int * int =
+  let kept = ref 0 and stale = ref [] in
+  Hashtbl.iter
+    (fun fn entry ->
+      match reconcile_artifact ~current:(fp_of fn) ~stamped:(entry_fp entry) with
+      | `Keep ->
+        incr kept;
+        on_keep entry
+      | `Drop -> stale := fn :: !stale)
+    tbl;
+  List.iter (Hashtbl.remove tbl) !stale;
+  (!kept, List.length !stale)
+
 (** Invalidate cached analyses after a transformation mutated the module.
 
     Fingerprint-keyed and incremental (DESIGN.md §11): instead of
@@ -179,7 +226,6 @@ let invalidate (t : t) =
   (match t.cg with
   | Some (cmfp, _) when cmfp <> mfp -> t.cg <- None
   | _ -> ());
-  let kept = ref 0 and dropped = ref 0 in
   let fp_cache : (string, string option) Hashtbl.t = Hashtbl.create 16 in
   let fp_of fn =
     match Hashtbl.find_opt fp_cache fn with
@@ -193,42 +239,17 @@ let invalidate (t : t) =
       Hashtbl.replace fp_cache fn v;
       v
   in
-  let stale_pdgs = ref [] in
-  Hashtbl.iter
-    (fun fn (c : cached_pdg) ->
-      if fp_of fn = Some c.pfp then begin
-        incr kept;
-        if andersen_stale && c.pafp <> "" then c.psuspect <- true
-      end
-      else begin
-        incr dropped;
-        stale_pdgs := fn :: !stale_pdgs
-      end)
-    t.pdgs;
-  List.iter (Hashtbl.remove t.pdgs) !stale_pdgs;
-  let stale_nests = ref [] in
-  Hashtbl.iter
-    (fun fn (nfp, _) ->
-      if fp_of fn = Some nfp then incr kept
-      else begin
-        incr dropped;
-        stale_nests := fn :: !stale_nests
-      end)
-    t.nests;
-  List.iter (Hashtbl.remove t.nests) !stale_nests;
-  let stale_bounds = ref [] in
-  Hashtbl.iter
-    (fun fn (bfp, _) ->
-      if fp_of fn = Some bfp then incr kept
-      else begin
-        incr dropped;
-        stale_bounds := fn :: !stale_bounds
-      end)
-    t.bounds_;
-  List.iter (Hashtbl.remove t.bounds_) !stale_bounds;
+  let k1, d1 =
+    reconcile_tbl ~fp_of
+      ~entry_fp:(fun (c : cached_pdg) -> c.pfp)
+      ~on_keep:(fun c -> if andersen_stale && c.pafp <> "" then c.psuspect <- true)
+      t.pdgs
+  in
+  let k2, d2 = reconcile_tbl ~fp_of ~entry_fp:fst t.nests in
+  let k3, d3 = reconcile_tbl ~fp_of ~entry_fp:fst t.bounds_ in
   Trace.touch "noelle.invalidate.kept";
-  Trace.add "noelle.invalidate.kept" !kept;
-  Trace.add "noelle.invalidate.dropped" !dropped;
+  Trace.add "noelle.invalidate.kept" (k1 + k2 + k3);
+  Trace.add "noelle.invalidate.dropped" (d1 + d2 + d3);
   let evs =
     Trust.reconcile
       ~kinds:(function Trust.Pdg_artifact _ -> true | _ -> false)
@@ -339,6 +360,12 @@ let pdg (t : t) (f : Func.t) : Pdg.t =
     let pafp = if !reloaded then "" else andersen_fp t in
     Hashtbl.replace t.pdgs f.Func.fname
       { pfp = Fingerprint.func_fp f; pafp; psuspect = false; pval = p };
+    (* store hook: only exact from-scratch results may be persisted — a
+       degraded graph would poison the store with a coarser answer, and a
+       metadata reload is already persisted where it came from *)
+    if (not p.Pdg.degraded) && not !reloaded then
+      sink_artifact t ~kind:"pdg" ~fn:f.Func.fname ~fp:(Fingerprint.func_fp f)
+        ~payload:(Pdg.payload p);
     p
 
 (** Raw natural-loop information of [f] (cached). *)
@@ -369,6 +396,8 @@ let bounds (t : t) (f : Func.t) : Bounds.summary =
     miss "bounds";
     let s = Bounds.analyze f in
     Hashtbl.replace t.bounds_ f.Func.fname (Fingerprint.func_fp f, s);
+    sink_artifact t ~kind:"bounds" ~fn:f.Func.fname ~fp:(Fingerprint.func_fp f)
+      ~payload:(Bounds.summary_payload s);
     s
 
 (** Loop structures (LS) of every loop in [f]. *)

@@ -574,3 +574,32 @@ let of_embedded (m : Irmod.t) (f : Func.t) : t option =
           mem_queries = 0;
           degraded = false;
         }
+
+(** Canonical textual payload of the dependence edges — the serialization
+    the serve layer's on-disk artifact store persists (DESIGN.md §14) and
+    the one the demand manager's artifact sink hands out.  One line per
+    edge, sorted, so two PDGs with equal edge sets render byte-identically
+    regardless of build order. *)
+let payload (t : t) : string =
+  Depgraph.edges t.fdg
+  |> List.map (fun (e : Depgraph.edge) ->
+         Printf.sprintf "%d %d %s %b %b" e.Depgraph.esrc e.Depgraph.edst
+           (Depgraph.kind_to_string e.Depgraph.kind)
+           e.Depgraph.must e.Depgraph.loop_carried)
+  |> List.sort String.compare
+  |> String.concat "\n"
+
+(** The (src, dst, kind) dependence triples of a rendered {!payload}
+    (must/loop-carried flags projected away): the quantity on which a
+    degraded answer must over-approximate an exact one — shedding may
+    weaken a proved dependence to a may-dep, never drop one. *)
+let payload_deps (payload : string) : (int * int * string) list =
+  String.split_on_char '\n' payload
+  |> List.filter_map (fun line ->
+         match String.split_on_char ' ' line with
+         | s :: d :: kind :: _ -> (
+           match (int_of_string_opt s, int_of_string_opt d) with
+           | Some s, Some d -> Some (s, d, kind)
+           | _ -> None)
+         | _ -> None)
+  |> List.sort_uniq compare

@@ -699,3 +699,24 @@ let loop_bound_to_string (lb : loop_bound) =
     | Affine -> "affine"
     | Diffcon -> "diffcon"
     | Structural -> "structural")
+
+(** Canonical textual payload of a summary — the serialization the serve
+    layer's artifact store persists (DESIGN.md §14).  One sorted line per
+    loop (key, depth, body trips, header executions, cost, origin) plus a
+    final function-cost line; byte-identical across recomputations of the
+    same code. *)
+let summary_payload (s : summary) : string =
+  let lines =
+    List.map
+      (fun lb ->
+        Printf.sprintf "loop %s %d %s | %s | %s [%s]" lb.lkey lb.ldepth
+          (trip_to_string lb.liters) (trip_to_string lb.lheadx)
+          (cost_to_string lb.lcost)
+          (match lb.lorigin with
+          | Affine -> "affine"
+          | Diffcon -> "diffcon"
+          | Structural -> "structural"))
+      s.floops
+    |> List.sort String.compare
+  in
+  String.concat "\n" (lines @ [ "fcost " ^ cost_to_string s.fcost ])

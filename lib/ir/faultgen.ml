@@ -76,12 +76,61 @@ let observable_kinds = [ Effect_reorder ]
 
 let is_meta_kind k = List.mem k metadata_kinds
 
+(* ------------------------------------------------------------------ *)
+(* Serve faults                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Fault classes of the serve layer's persistent artifact store
+    (DESIGN.md §14).  Unlike the kinds above these corrupt {e files and
+    processes}, not IR, so they carry their own type: a serve process
+    killed between the temp-file write and the journal commit, an
+    artifact file chopped mid-payload (torn write), a bit flipped inside
+    a shard file (disk rot), and a shard whose reads stall past the
+    request deadline.  [Serve.Store] applies them; the soak gate asserts
+    that recovery after any of them yields answers identical to a
+    from-scratch run. *)
+type serve_kind =
+  | Kill_mid_write      (** process killed inside the store commit protocol *)
+  | Truncate_artifact   (** an artifact file truncated (possibly to zero bytes) *)
+  | Bitflip_artifact    (** one byte of a shard file flipped *)
+  | Stall_shard         (** one shard's reads stall past the deadline *)
+
+let serve_kind_to_string = function
+  | Kill_mid_write -> "kill-mid-write"
+  | Truncate_artifact -> "truncate-artifact"
+  | Bitflip_artifact -> "bitflip-artifact"
+  | Stall_shard -> "stall-shard"
+
+let serve_kinds = [ Kill_mid_write; Truncate_artifact; Bitflip_artifact; Stall_shard ]
+
 (* deterministic 64-bit LCG (MMIX constants) *)
 type rng = { mutable s : int64 }
 
 let next (r : rng) bound =
   r.s <- Int64.add (Int64.mul r.s 6364136223846793005L) 1442695040888963407L;
   Int64.to_int (Int64.rem (Int64.shift_right_logical r.s 33) (Int64.of_int (max 1 bound)))
+
+(** Deterministic fault plan for a serve soak run: which requests of a
+    [requests]-long workload get which store fault armed before they are
+    handled.  Roughly one fault per eight requests, always at least one
+    kill (the class the recovery journal exists for); pure function of
+    [seed] so a failing soak is replayable. *)
+let serve_plan ~seed ~requests : (int * serve_kind) list =
+  let r = { s = Int64.add 0x5851f42d4c957f2dL (Int64.of_int seed) } in
+  ignore (next r 1);
+  let n = List.length serve_kinds in
+  let faults = max 1 (requests / 8) in
+  let plan =
+    List.init faults (fun i ->
+        let idx = next r (max 1 requests) in
+        let k =
+          (* the first planned fault is always a kill: every seed must
+             exercise the recovery protocol, not only file corruption *)
+          if i = 0 then Kill_mid_write else List.nth serve_kinds (next r n)
+        in
+        (idx, k))
+  in
+  List.sort_uniq compare plan
 
 (** The function the interpreter will actually enter: sanitizer plants go
     at the top of its entry block so a planted fault is guaranteed to

@@ -1,0 +1,63 @@
+(** Deterministic serve workloads: interleaved module edits and analysis
+    queries over a multi-module corpus, replayable from a seed.
+
+    The generator is a plain LCG (same constants as {!Ir.Faultgen}), so a
+    workload is a pure function of [(seed, modules, requests)] — the soak
+    gate replays the identical request stream against a recovered store
+    and a cold store and demands identical answers. *)
+
+type qkind = Qdeps | Qbounds | Qloops
+
+type req =
+  | Edit of { emod : string; efn : int; eseed : int }
+      (** plant a benign (dead) instruction in function [efn mod n] *)
+  | Query of { qmod : string; qfn : int; qkind : qkind }
+
+type t = { wseed : int; wmods : string list; reqs : req list }
+
+(** Kernel pool the CLI draws corpus modules from (rotated by seed). *)
+let default_pool =
+  [ "crc32"; "dijkstra"; "adpcm"; "deadcalls"; "qsort"; "bitcount"; "histogram" ]
+
+type rng = { mutable s : int64 }
+
+let next r bound =
+  r.s <- Int64.add (Int64.mul r.s 6364136223846793005L) 1442695040888963407L;
+  Int64.to_int (Int64.shift_right_logical r.s 33) mod max 1 bound
+
+(** [count] names from [names], rotated by [seed] so different seeds
+    exercise different corpus mixes. *)
+let pick ~seed ~count (names : string list) : string list =
+  let n = List.length names in
+  let count = min count n in
+  List.init count (fun i -> List.nth names ((seed + i) mod n))
+
+let pick_modules ~seed ~count : string list = pick ~seed ~count default_pool
+
+(** One request in four is an edit; queries split evenly across deps /
+    bounds / loops. *)
+let generate ~(seed : int) ~(mods : string list) ~(requests : int) : t =
+  let r = { s = Int64.add 0x9e3779b97f4a7c15L (Int64.of_int seed) } in
+  ignore (next r 1);
+  let nm = List.length mods in
+  let reqs =
+    List.init requests (fun _ ->
+        let m = List.nth mods (next r nm) in
+        if next r 4 = 0 then Edit { emod = m; efn = next r 64; eseed = next r 0xffff }
+        else
+          let qkind =
+            match next r 3 with 0 -> Qdeps | 1 -> Qbounds | _ -> Qloops
+          in
+          Query { qmod = m; qfn = next r 64; qkind })
+  in
+  { wseed = seed; wmods = mods; reqs }
+
+let qkind_to_string = function
+  | Qdeps -> "deps"
+  | Qbounds -> "bounds"
+  | Qloops -> "loops"
+
+let req_to_string = function
+  | Edit { emod; efn; eseed } -> Printf.sprintf "edit %s fn#%d seed=%d" emod efn eseed
+  | Query { qmod; qfn; qkind } ->
+    Printf.sprintf "query %s fn#%d %s" qmod qfn (qkind_to_string qkind)

@@ -409,6 +409,80 @@ let test_metadata_sweep () =
   (* the sweep only proves what it exercised: most seeds must profile *)
   checkb "majority of seeds carried profiles" (!skipped_prof < 25)
 
+(* ------------------------------------------------------------------ *)
+(* Torn on-disk artifacts (DESIGN.md §14)                              *)
+(*                                                                     *)
+(* The serve store persists Trust-stamped artifacts as files; a crash  *)
+(* mid-write leaves zero-length or truncated files behind.  The stamp  *)
+(* checksum must catch every such shape — a torn artifact may never    *)
+(* verify, and must be quarantined, not served.                        *)
+(* ------------------------------------------------------------------ *)
+
+module Sstore = Serve.Store
+
+let torn_root name =
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ()) ("noelle_trust_" ^ name)
+  in
+  Sstore.remove_tree root;
+  root
+
+(** Exhaustive torn-write sweep: every proper prefix of a stamped
+    artifact file — from zero-length up — must fail verification and be
+    quarantined.  No prefix may ever verify as a Hit. *)
+let test_torn_artifact_never_verifies () =
+  let root = torn_root "torn" in
+  let st = Sstore.open_store root in
+  let key = { Sstore.kmod = "m"; kshard = "s"; kfn = "f"; kkind = "pdg" } in
+  let payload = "0 1 mem true false\n2 3 ctrl true false" in
+  Sstore.write st key ~fp:"abcd" ~afp:"eeff" ~payload;
+  let path = Filename.concat root "m/s/f.pdg.art" in
+  let full =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let n = String.length full in
+  let corrupt = ref 0 in
+  for cut = 0 to n - 1 do
+    let oc = open_out_bin path in
+    output_string oc (String.sub full 0 cut);
+    close_out oc;
+    (match Sstore.lookup st key ~fp:"abcd" ~afp:"eeff" ~now:0 with
+    | Sstore.Hit _ -> Alcotest.failf "torn artifact verified at cut=%d" cut
+    | Sstore.Miss_stale _ -> Alcotest.failf "torn artifact stale (not corrupt) at cut=%d" cut
+    | Sstore.Miss_absent -> Alcotest.failf "lookup lost the file at cut=%d" cut
+    | Sstore.Miss_corrupt _ -> incr corrupt);
+    checkb "torn file quarantined" (not (Sys.file_exists path))
+  done;
+  checki "every prefix (incl. zero-length) caught as corrupt" n !corrupt;
+  checki "quarantine bookkeeping" n st.Sstore.qcount;
+  (* quarantine-and-recompute: a fresh write fully heals the slot *)
+  Sstore.write st key ~fp:"abcd" ~afp:"eeff" ~payload;
+  (match Sstore.lookup st key ~fp:"abcd" ~afp:"eeff" ~now:0 with
+  | Sstore.Hit p -> checks "recomputed artifact serves again" payload p
+  | _ -> Alcotest.fail "recomputed artifact did not verify");
+  Sstore.close st
+
+(** The recovery journal tolerates a torn tail: committed intents are
+    settled, uncommitted and garbled ones only trigger re-verification. *)
+let test_journal_torn_tail () =
+  let root = torn_root "journal" in
+  let st = Sstore.open_store root in
+  Sstore.close st;
+  let oc = open_out_bin (Filename.concat root "journal") in
+  (* committed write, garbage record, uncommitted write, torn tail
+     (no trailing newline, record cut mid-path) *)
+  output_string oc "W m/s/f.pdg.art\nC m/s/f.pdg.art\nQ garbage\nW m/s/g.pdg.art\nW m/";
+  close_out oc;
+  let st = Sstore.open_store root in
+  checkb "reopen survives the torn journal"
+    (st.Sstore.last_recovery.Sstore.r_pending >= 1);
+  checki "nothing live, nothing falsely quarantined" 0
+    st.Sstore.last_recovery.Sstore.r_quarantined;
+  Sstore.close st
+
 let suite =
   [
     tc "fingerprint stability" test_fingerprint_stability;
@@ -426,4 +500,6 @@ let suite =
     tc "check meta.verify" test_check_meta_verify;
     tc "pipeline verify-meta gate" test_pipeline_verify_meta_gate;
     tc "metadata-corruption sweep (50 seeds)" test_metadata_sweep;
+    tc "torn artifact files never verify" test_torn_artifact_never_verifies;
+    tc "recovery journal tolerates torn tail" test_journal_torn_tail;
   ]
