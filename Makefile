@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta trace validate bounds serve bench-json bench-gate
+.PHONY: check build test faultcheck lint verify-meta trace validate bounds serve slo bench-json bench-gate bench-regress
 
 build:
 	dune build
@@ -61,11 +61,29 @@ serve: build
 	dune exec bin/noelle_serve.exe -- --overload --requests 200 -q
 	dune exec bin/noelle_serve.exe -- --faults --seeds 50 -q
 
-# machine-readable benchmark rows (wall ms + counter deltas per kernel),
-# plus the synthetic scaling comparison of the sparse analysis engine
-# against the naive solver/builder paths (DESIGN.md §11)
+# SLO gate (DESIGN.md §15): serve a seeded workload under tracing, report
+# p50/p95/p99/p999 request latency per kind, and fail on any violated
+# budget from slo.json (plus max shed % and deadline misses).  The
+# negative leg proves the gate can actually fail: a 1us budget must
+# exit non-zero.  Leaves slo_report.txt and slo.prom for CI artifacts.
+slo: build
+	dune exec bin/noelle_slo.exe -- --report slo_report.txt --prom slo.prom
+	! dune exec bin/noelle_slo.exe -- --p99-budget-us 1 -q 2>/dev/null
+
+# machine-readable benchmark rows (wall ms, counter deltas, derived
+# gauges per kernel), plus the synthetic scaling comparison of the sparse
+# analysis engine against the naive solver/builder paths (DESIGN.md §11)
 bench-json: build
-	dune exec bench/main.exe -- --json figure3 scaling bounds serve
+	dune exec bench/main.exe -- --json figure3 scaling bounds serve slo
+
+# bench-history regression gate: rerun the instrumented sections and diff
+# them against the checked-in BENCH_*.json baselines — counter deltas must
+# match exactly (they are deterministic functions of the seeded
+# workloads), wall/gauges within a generous ratio.  The comparator
+# self-checks by injecting a one-count counter regression that must be
+# detected.  Runs BEFORE bench-gate, which regenerates the files.
+bench-regress: build
+	dune exec bench/main.exe -- --compare figure3 scaling bounds serve slo
 
 # smoke gate over the freshly regenerated bench JSON: the sparse engine
 # must actually have run (delta propagations and bucketing skips logged)
@@ -84,5 +102,7 @@ bench-gate: bench-json
 	grep -q '"serve.quarantined"' BENCH_serve.json
 	grep -q '"serve.bench.qps"' BENCH_serve.json
 	grep -q '"serve.bench.recovery_us"' BENCH_serve.json
+	grep -q 'p99_us"' BENCH_slo.json
+	grep -q '"serve.bench.trace_overhead_pct"' BENCH_slo.json
 
-check: build test faultcheck lint verify-meta serve trace validate bounds bench-gate
+check: build test faultcheck lint verify-meta serve trace validate bounds slo bench-regress bench-gate

@@ -20,18 +20,29 @@ let banner title = Printf.printf "\n== %s ==\n" title
 (* ------------------------------------------------------------------ *)
 
 (** With [--json], instrumented sections also write BENCH_<section>.json:
-    one row per benchmark with wall-clock ms and the telemetry-counter
+    one row per benchmark with wall-clock ms, the telemetry-counter
     deltas (PDG queries, Andersen constraints, psim cycles, ...) its run
-    produced. *)
+    produced, and any gauges it set (derived rates and percentiles —
+    kept out of the counter namespace so [--compare] can hold counters
+    to exact equality while giving wall-dependent gauges a ratio
+    tolerance). *)
 let json_mode = ref false
 
-let json_rows : (string * float * (string * int64) list) list ref = ref []
+type row = {
+  rname : string;
+  rwall_ms : float;
+  rcounters : (string * int64) list;  (** deltas over the row's run *)
+  rgauges : (string * float) list;  (** gauges set/changed by the row *)
+}
+
+let json_rows : row list ref = ref []
 
 (** Run one benchmark body, recording a JSON row when [--json] is on. *)
 let bench_row name f =
   if not !json_mode then f ()
   else begin
     let before = Ir.Trace.counters () in
+    let gbefore = Ir.Trace.gauges () in
     let x, ms = Ir.Trace.time_ms f in
     let deltas =
       List.filter_map
@@ -40,29 +51,216 @@ let bench_row name f =
           if Int64.compare v v0 > 0 then Some (k, Int64.sub v v0) else None)
         (Ir.Trace.counters ())
     in
-    json_rows := (name, ms, deltas) :: !json_rows;
+    let gauges =
+      List.filter
+        (fun (k, v) -> List.assoc_opt k gbefore <> Some v)
+        (Ir.Trace.gauges ())
+    in
+    json_rows :=
+      { rname = name; rwall_ms = ms; rcounters = deltas; rgauges = gauges }
+      :: !json_rows;
     x
   end
 
 let q s = "\"" ^ Ir.Trace.json_escape s ^ "\""
 
-let write_bench_json section =
+let row_to_json (r : row) =
+  Printf.sprintf "{\"name\":%s,\"wall_ms\":%.3f,\"counters\":{%s},\"gauges\":{%s}}"
+    (q r.rname) r.rwall_ms
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%Ld" (q k) v) r.rcounters))
+    (String.concat ","
+       (List.map (fun (k, v) -> Printf.sprintf "%s:%.3f" (q k) v) r.rgauges))
+
+(* ------------------------------------------------------------------ *)
+(* --compare: bench-history regression gate                            *)
+(* ------------------------------------------------------------------ *)
+
+(** With [--compare], sections run fresh and are diffed against the
+    checked-in BENCH_<section>.json baselines instead of overwriting
+    them: counters must match exactly (they are deterministic functions
+    of the seeded workloads) unless explained by the allowlist; wall
+    clock and gauges get a generous ratio tolerance (they measure the
+    machine, not the algorithm).  Any failure exits non-zero — this is
+    [make bench-regress]. *)
+let compare_mode = ref false
+
+let compare_failures : string list ref = ref []
+
+(** Counter prefixes exempt from exact comparison: bench-derived rates
+    that older baselines recorded in the counter namespace. *)
+let explained_counters = [ "serve.bench." ]
+
+(* wall/gauge tolerances: CI machines differ, the gate is for
+   asymptotics; rows/values under the floor are too small to compare *)
+let wall_ratio_tol = 8.0
+let wall_floor_ms = 20.0
+let gauge_ratio_tol = 8.0
+let gauge_floor = 50.0
+
+let load_baseline section : (string * (float * (string * int64) list * (string * float) list)) list option =
+  let file = Printf.sprintf "BENCH_%s.json" section in
+  if not (Sys.file_exists file) then None
+  else begin
+    let module J = Ir.Trace.Json in
+    let ic = open_in_bin file in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    let doc = J.parse s in
+    let rows =
+      Option.bind (J.member "benchmarks" doc) J.to_list
+      |> Option.value ~default:[]
+    in
+    Some
+      (List.filter_map
+         (fun r ->
+           match Option.bind (J.member "name" r) J.to_string with
+           | None -> None
+           | Some name ->
+             let wall =
+               Option.value ~default:0.0
+                 (Option.bind (J.member "wall_ms" r) J.to_num)
+             in
+             let nums field =
+               match J.member field r with
+               | Some (J.Obj kvs) ->
+                 List.filter_map
+                   (fun (k, v) ->
+                     Option.map (fun f -> (k, f)) (J.to_num v))
+                   kvs
+               | _ -> []
+             in
+             let counters =
+               List.map (fun (k, f) -> (k, Int64.of_float f)) (nums "counters")
+             in
+             Some (name, (wall, counters, nums "gauges")))
+         rows)
+  end
+
+let is_explained k =
+  List.exists
+    (fun p ->
+      String.length k >= String.length p && String.sub k 0 (String.length p) = p)
+    explained_counters
+
+(** p999 of a few-hundred-sample histogram is literally the slowest
+    request — one GC pause or disk hiccup moves it 30x.  Keep it in the
+    baseline (structural presence still checked) but exempt it from the
+    ratio comparison. *)
+let gauge_ratio_exempt k =
+  let suf = "p999_us" in
+  String.length k >= String.length suf
+  && String.sub k (String.length k - String.length suf) (String.length suf)
+     = suf
+
+let ratio_ok ~tol ~floor a b =
+  (a <= floor && b <= floor)
+  || (a > 0.0 && b > 0.0 && a /. b <= tol && b /. a <= tol)
+
+(** Diff fresh rows against a baseline; returns human-readable failures. *)
+let diff_rows ~section (fresh : row list)
+    (base : (string * (float * (string * int64) list * (string * float) list)) list)
+    : string list =
+  let fails = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> fails := Printf.sprintf "%s: %s" section s :: !fails) fmt
+  in
+  List.iter
+    (fun (r : row) ->
+      match List.assoc_opt r.rname base with
+      | None -> fail "row %s missing from baseline (new benchmark? refresh with make bench-json)" r.rname
+      | Some (bwall, bcounters, bgauges) ->
+        (* counters: exact both directions, unless explained *)
+        List.iter
+          (fun (k, v) ->
+            if not (is_explained k) then
+              match List.assoc_opt k bcounters with
+              | Some bv when Int64.equal bv v -> ()
+              | Some bv ->
+                fail "%s counter %s: baseline %Ld, now %Ld" r.rname k bv v
+              | None -> fail "%s counter %s appeared (now %Ld)" r.rname k v)
+          r.rcounters;
+        List.iter
+          (fun (k, bv) ->
+            if (not (is_explained k)) && List.assoc_opt k r.rcounters = None
+            then fail "%s counter %s disappeared (baseline %Ld)" r.rname k bv)
+          bcounters;
+        (* wall: ratio tolerance *)
+        if not (ratio_ok ~tol:wall_ratio_tol ~floor:wall_floor_ms bwall r.rwall_ms)
+        then
+          fail "%s wall %.1fms vs baseline %.1fms (> %.0fx)" r.rname r.rwall_ms
+            bwall wall_ratio_tol;
+        (* gauges: ratio tolerance; appearing/disappearing is structural *)
+        List.iter
+          (fun (k, v) ->
+            match List.assoc_opt k bgauges with
+            | Some _ when gauge_ratio_exempt k -> ()
+            | Some bv when ratio_ok ~tol:gauge_ratio_tol ~floor:gauge_floor bv v
+              -> ()
+            | Some bv -> fail "%s gauge %s: %.1f vs baseline %.1f" r.rname k v bv
+            | None -> fail "%s gauge %s appeared" r.rname k)
+          r.rgauges;
+        List.iter
+          (fun (k, _) ->
+            if List.assoc_opt k r.rgauges = None then
+              fail "%s gauge %s disappeared" r.rname k)
+          bgauges)
+    fresh;
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun (r : row) -> r.rname = name) fresh) then
+        fail "row %s in baseline but not produced by this run" name)
+    base;
+  List.rev !fails
+
+(** The comparator must actually be able to fail: inject a one-count
+    counter regression into the fresh rows and demand detection. *)
+let self_check ~section (fresh : row list)
+    (base : (string * (float * (string * int64) list * (string * float) list)) list)
+    : string list =
+  match fresh with
+  | [] -> []
+  | r0 :: rest ->
+    (* a synthetic counter the baseline cannot contain: its appearance
+       must always be flagged, and it cannot coincidentally cancel a
+       real regression the way perturbing an existing counter could *)
+    let perturbed =
+      { r0 with rcounters = ("bench.selfcheck.injected", 1L) :: r0.rcounters }
+    in
+    if diff_rows ~section (perturbed :: rest) base = [] then
+      [ Printf.sprintf
+          "%s: SELF-CHECK FAILED: injected counter regression not detected"
+          section ]
+    else []
+
+let finish_section section =
   if !json_mode then begin
     let rows = List.rev !json_rows in
     json_rows := [];
-    if rows <> [] then begin
-      let file = Printf.sprintf "BENCH_%s.json" section in
-      let row (name, ms, counters) =
-        Printf.sprintf "{\"name\":%s,\"wall_ms\":%.3f,\"counters\":{%s}}" (q name) ms
-          (String.concat ","
-             (List.map (fun (k, v) -> Printf.sprintf "%s:%Ld" (q k) v) counters))
-      in
-      let oc = open_out file in
-      Printf.fprintf oc "{\"section\":%s,\"benchmarks\":[%s]}\n" (q section)
-        (String.concat "," (List.map row rows));
-      close_out oc;
-      Printf.printf "  wrote %s (%d rows)\n" file (List.length rows)
-    end
+    if rows <> [] then
+      if !compare_mode then begin
+        match load_baseline section with
+        | None ->
+          compare_failures :=
+            Printf.sprintf "%s: no checked-in BENCH_%s.json baseline" section
+              section
+            :: !compare_failures
+        | Some base ->
+          let fails = diff_rows ~section rows base @ self_check ~section rows base in
+          compare_failures := List.rev_append fails !compare_failures;
+          Printf.printf "  compare %s: %d rows vs BENCH_%s.json — %s\n" section
+            (List.length rows) section
+            (if fails = [] then "ok (self-check armed)"
+             else Printf.sprintf "%d FAILURES" (List.length fails))
+      end
+      else begin
+        let file = Printf.sprintf "BENCH_%s.json" section in
+        let oc = open_out file in
+        Printf.fprintf oc "{\"section\":%s,\"benchmarks\":[%s]}\n" (q section)
+          (String.concat "," (List.map row_to_json rows));
+        close_out oc;
+        Printf.printf "  wrote %s (%d rows)\n" file (List.length rows)
+      end
   end
 
 (* ------------------------------------------------------------------ *)
@@ -877,9 +1075,12 @@ let serve_corpus mods =
       | _ -> None)
     Serve.Workload.default_pool
 
-(** Derived service metrics ride the counter registry so they land in
-    BENCH_serve.json's counter deltas (make bench-gate greps them). *)
-let serve_metric name v = Ir.Trace.add name (max 1 v)
+(** Derived service metrics (rates, percentages, percentiles) are
+    gauges, not counters: they are remeasured each run rather than
+    accumulated, and [--compare] gives them a ratio tolerance where
+    counters are held exact.  They land in the row's "gauges" dict in
+    BENCH_serve.json (make bench-gate greps them there). *)
+let serve_metric name v = Ir.Trace.set_gauge name (float_of_int (max 1 v))
 
 let serve_section () =
   banner "Analysis-as-a-service: noelle-serve store, recovery, shedding";
@@ -948,6 +1149,66 @@ let serve_section () =
         (float_of_int per_rec_us))
 
 (* ------------------------------------------------------------------ *)
+(* SLO: request latency percentiles and tracing overhead (§15)          *)
+(* ------------------------------------------------------------------ *)
+
+let slo_kinds = [ "edit"; "deps"; "bounds"; "loops" ]
+
+let slo_section () =
+  banner "SLO: request latency percentiles and tracing overhead";
+  let root = "_serve/benchslo" in
+  Serve.Store.remove_tree root;
+  let mods = Serve.Workload.pick_modules ~seed:0 ~count:3 in
+  let w = Serve.Workload.generate ~seed:0 ~mods ~requests:150 in
+  (* cold run then warm restart, same shape as noelle-slo: the measured
+     distribution covers both the recompute-heavy and store-hit regimes *)
+  let run_once sub =
+    let rroot = Filename.concat root sub in
+    Serve.Store.remove_tree rroot;
+    let sv = Serve.create ~root:rroot (serve_corpus mods) in
+    let r1 = Serve.run sv w () in
+    Serve.Store.close sv.Serve.store;
+    let sv2 = Serve.create ~root:rroot (serve_corpus mods) in
+    let r2 = Serve.run sv2 w () in
+    Serve.Store.close sv2.Serve.store;
+    r1.Serve.rwall_ms +. r2.Serve.rwall_ms
+  in
+  bench_row "slo-replay" (fun () ->
+      ignore (run_once "measure");
+      List.iter
+        (fun kind ->
+          match Ir.Trace.histogram ("serve.latency_us." ^ kind) with
+          | Some h when h.Ir.Trace.hcount > 0 ->
+            List.iter
+              (fun (qn, qv) ->
+                serve_metric
+                  (Printf.sprintf "serve.bench.slo.%s.%s" kind qn)
+                  (Int64.to_int (Ir.Trace.quantile h qv)))
+              [ ("p50_us", 0.5); ("p95_us", 0.95); ("p99_us", 0.99);
+                ("p999_us", 0.999) ];
+            Printf.printf "  %-8s count=%-5d p50=%Ldus p99=%Ldus p999=%Ldus\n"
+              kind h.Ir.Trace.hcount (Ir.Trace.quantile h 0.5)
+              (Ir.Trace.quantile h 0.99) (Ir.Trace.quantile h 0.999)
+          | _ -> Printf.printf "  %-8s (no samples: tracing off)\n" kind)
+        slo_kinds);
+  (* the SLO story only holds if observability itself is cheap: replay
+     the workload with the trace sink on vs off and gauge the delta *)
+  bench_row "slo-overhead" (fun () ->
+      let was_on = Ir.Trace.enabled () in
+      let traced = run_once "traced" in
+      Ir.Trace.disable ();
+      let untraced = run_once "untraced" in
+      if was_on then Ir.Trace.enable ~keep:true ();
+      let pct =
+        if untraced <= 0. then 0.
+        else 100. *. (traced -. untraced) /. untraced
+      in
+      serve_metric "serve.bench.trace_overhead_pct"
+        (int_of_float (Float.max 1. pct));
+      Printf.printf "  overhead: traced %.1fms vs untraced %.1fms (%+.1f%%)\n"
+        traced untraced pct)
+
+(* ------------------------------------------------------------------ *)
 (* Optional: sequential test script (the paper's bash fallback, §2.4)   *)
 (* ------------------------------------------------------------------ *)
 
@@ -979,13 +1240,19 @@ let sections =
     ("scaling", scaling);
     ("bounds", bounds_section);
     ("serve", serve_section);
+    ("slo", slo_section);
     ("bechamel", bechamel_section) ]
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   if List.mem "--emit-test-script" args then emit_test_script ()
   else begin
-    if List.mem "--json" args then begin
+    if List.mem "--compare" args then begin
+      compare_mode := true;
+      json_mode := true;
+      Ir.Trace.enable ()
+    end
+    else if List.mem "--json" args then begin
       json_mode := true;
       Ir.Trace.enable ()
     end;
@@ -994,7 +1261,16 @@ let () =
     List.iter
       (fun name ->
         (List.assoc name sections) ();
-        write_bench_json name)
+        finish_section name)
       todo;
-    print_newline ()
+    print_newline ();
+    if !compare_mode then begin
+      match List.rev !compare_failures with
+      | [] ->
+        Printf.printf "bench-regress: ok (%d sections match their baselines)\n"
+          (List.length todo)
+      | fails ->
+        List.iter (Printf.eprintf "bench-regress: REGRESSION: %s\n") fails;
+        exit 1
+    end
   end

@@ -43,7 +43,7 @@ let corpus_of () =
 let required_counters =
   [ "serve.requests"; "serve.queries"; "serve.edits"; "serve.store.hits";
     "serve.store.misses"; "serve.store.writes"; "serve.shed";
-    "serve.recoveries"; "serve.quarantined" ]
+    "serve.recoveries"; "serve.quarantined"; "serve.flight.replayed" ]
 
 let check_counters () =
   let names = List.map fst (Noelle.Telemetry.metrics ()) in
@@ -156,13 +156,24 @@ let overload ~root ~seed ~modules ~requests ~quiet =
 let run faults over seeds seed modules requests root metrics_out quiet =
   Noelle.Telemetry.install ();
   let ok =
-    if faults then soak ~root ~seeds ~modules ~requests ~quiet
-    else if over then overload ~root ~seed ~modules ~requests ~quiet
-    else replay ~root ~seed ~modules ~requests ~quiet
+    try
+      if faults then soak ~root ~seeds ~modules ~requests ~quiet
+      else if over then overload ~root ~seed ~modules ~requests ~quiet
+      else replay ~root ~seed ~modules ~requests ~quiet
+    with e ->
+      (* trap: preserve the flight ring for post-mortem before dying *)
+      let p = Serve.dump_flight root in
+      Printf.eprintf "noelle-serve: trapped %s; flight recorder dumped to %s\n"
+        (Printexc.to_string e) p;
+      raise e
   in
   let counters_ok = check_counters () in
   Noelle.Telemetry.save_metrics metrics_out;
-  say quiet "wrote %s\n" metrics_out;
+  (* always leave a flight dump behind (CI uploads it): even on a clean
+     exit it names the last few hundred waypoints served *)
+  let flight = Serve.dump_flight root in
+  say quiet "wrote %s and %s (%d flight events)\n" metrics_out flight
+    (List.length (Ir.Trace.flight_events ()));
   Noelle.Telemetry.uninstall ();
   if ok && counters_ok then 0 else 1
 

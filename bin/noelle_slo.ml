@@ -1,0 +1,273 @@
+(** noelle-slo — evaluate the service-level objectives of the serve loop
+    (DESIGN.md §15).
+
+    Serves a deterministic workload (cold store, then warm restart — the
+    same shape as noelle-serve's replay gate) under the telemetry spine,
+    reads the per-kind [serve.latency_us.*] HDR histograms back, and:
+
+    - prints a p50/p95/p99/p999 percentile table per request kind;
+    - writes a Prometheus text exposition ([--prom]) so the numbers can
+      be scraped/archived;
+    - evaluates the SLO spec ([slo.json]: per-kind p99 budgets, max shed
+      percentage, max deadline-miss count) and exits non-zero on any
+      violation — [make slo] wires this into [make check]/CI.
+
+    [--p99-budget-us N] overrides every kind's budget, which is how the
+    negative test deliberately violates the SLO (a 1µs budget must
+    fail). *)
+
+open Cmdliner
+module T = Noelle.Telemetry
+module Json = Ir.Trace.Json
+
+let say quiet fmt =
+  Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
+
+let kinds = [ "edit"; "deps"; "bounds"; "loops" ]
+
+(* ------------------------------------------------------------------ *)
+(* SLO spec                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type slo = {
+  p99_us : (string * int64) list;  (** per-kind p99 budget *)
+  max_shed_pct : float;
+  max_deadline_misses : int;
+}
+
+let load_slo path : slo =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let doc = Json.parse s in
+  let num field j = Option.bind (Json.member field j) Json.to_num in
+  let p99_us =
+    match Json.member "kinds" doc with
+    | Some (Json.Obj kvs) ->
+      List.filter_map
+        (fun (k, v) ->
+          match num "p99_us" v with
+          | Some f -> Some (k, Int64.of_float f)
+          | None -> None)
+        kvs
+    | _ -> []
+  in
+  {
+    p99_us;
+    max_shed_pct = Option.value ~default:100.0 (num "max_shed_pct" doc);
+    max_deadline_misses =
+      (match num "max_deadline_misses" doc with
+      | Some f -> int_of_float f
+      | None -> max_int);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Measured workload                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let corpus_of () =
+  List.map
+    (fun name ->
+      match Bsuite.Kernels.find name with
+      | Some k -> (name, Bsuite.Kernels.compile k)
+      | None ->
+        Printf.eprintf "noelle-slo: pool kernel %S missing\n" name;
+        exit 2)
+    Serve.Workload.default_pool
+
+(** Cold run then warm restart over the same store: the measured latency
+    distribution covers both the recompute-heavy and the store-hit-heavy
+    regimes, which is what the service's tail actually looks like. *)
+let run_workload ~root ~seed ~modules ~requests : unit =
+  let mods = Serve.Workload.pick_modules ~seed ~count:modules in
+  let w = Serve.Workload.generate ~seed ~mods ~requests in
+  let run_root = Filename.concat root (Printf.sprintf "slo%d" seed) in
+  Serve.Store.remove_tree run_root;
+  let corpus () =
+    List.filter (fun (n, _) -> List.mem n mods) (corpus_of ())
+  in
+  let sv = Serve.create ~root:run_root (corpus ()) in
+  ignore (Serve.run sv w ());
+  Serve.Store.close sv.Serve.store;
+  let sv2 = Serve.create ~root:run_root (corpus ()) in
+  ignore (Serve.run sv2 w ());
+  Serve.Store.close sv2.Serve.store
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type row = {
+  kind : string;
+  count : int;
+  sum : int64;
+  p50 : int64;
+  p95 : int64;
+  p99 : int64;
+  p999 : int64;
+}
+
+let measure_rows () : row list =
+  List.filter_map
+    (fun kind ->
+      match T.histogram ("serve.latency_us." ^ kind) with
+      | Some h when h.Ir.Trace.hcount > 0 ->
+        Some
+          {
+            kind;
+            count = h.Ir.Trace.hcount;
+            sum = h.Ir.Trace.hsum;
+            p50 = T.quantile h 0.5;
+            p95 = T.quantile h 0.95;
+            p99 = T.quantile h 0.99;
+            p999 = T.quantile h 0.999;
+          }
+      | _ -> None)
+    kinds
+
+let table (rows : row list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    (Printf.sprintf "%-8s %8s %12s %12s %12s %12s\n" "kind" "count" "p50_us"
+       "p95_us" "p99_us" "p999_us");
+  List.iter
+    (fun r ->
+      Buffer.add_string b
+        (Printf.sprintf "%-8s %8d %12Ld %12Ld %12Ld %12Ld\n" r.kind r.count
+           r.p50 r.p95 r.p99 r.p999))
+    rows;
+  Buffer.contents b
+
+(** Prometheus text exposition: a summary per kind plus the shed and
+    deadline-miss gauges the SLO also gates on. *)
+let prometheus (rows : row list) ~shed_pct ~deadline_misses : string =
+  let b = Buffer.create 512 in
+  Buffer.add_string b
+    "# HELP noelle_serve_latency_us request latency by kind (microseconds)\n";
+  Buffer.add_string b "# TYPE noelle_serve_latency_us summary\n";
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (q, v) ->
+          Buffer.add_string b
+            (Printf.sprintf "noelle_serve_latency_us{kind=\"%s\",quantile=\"%s\"} %Ld\n"
+               r.kind q v))
+        [ ("0.5", r.p50); ("0.95", r.p95); ("0.99", r.p99); ("0.999", r.p999) ];
+      Buffer.add_string b
+        (Printf.sprintf "noelle_serve_latency_us_sum{kind=\"%s\"} %Ld\n" r.kind
+           r.sum);
+      Buffer.add_string b
+        (Printf.sprintf "noelle_serve_latency_us_count{kind=\"%s\"} %d\n" r.kind
+           r.count))
+    rows;
+  Buffer.add_string b "# HELP noelle_serve_shed_pct shed dependence queries (percent)\n";
+  Buffer.add_string b "# TYPE noelle_serve_shed_pct gauge\n";
+  Buffer.add_string b (Printf.sprintf "noelle_serve_shed_pct %.3f\n" shed_pct);
+  Buffer.add_string b
+    "# HELP noelle_serve_deadline_misses requests that exhausted the store deadline\n";
+  Buffer.add_string b "# TYPE noelle_serve_deadline_misses counter\n";
+  Buffer.add_string b
+    (Printf.sprintf "noelle_serve_deadline_misses %d\n" deadline_misses);
+  Buffer.contents b
+
+let evaluate (slo : slo) (rows : row list) ~shed_pct ~deadline_misses :
+    string list =
+  let viol = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> viol := s :: !viol) fmt in
+  List.iter
+    (fun r ->
+      match List.assoc_opt r.kind slo.p99_us with
+      | Some budget when Int64.compare r.p99 budget > 0 ->
+        add "%s: p99 %Ldus exceeds budget %Ldus" r.kind r.p99 budget
+      | _ -> ())
+    rows;
+  (* a kind with a budget but no observations means the workload never
+     exercised it — that is a measurement hole, not a pass *)
+  List.iter
+    (fun (k, _) ->
+      if not (List.exists (fun r -> r.kind = k) rows) then
+        add "%s: budgeted but never measured" k)
+    slo.p99_us;
+  if shed_pct > slo.max_shed_pct then
+    add "shed %.1f%% exceeds max %.1f%%" shed_pct slo.max_shed_pct;
+  if deadline_misses > slo.max_deadline_misses then
+    add "deadline misses %d exceed max %d" deadline_misses
+      slo.max_deadline_misses;
+  List.rev !viol
+
+(* ------------------------------------------------------------------ *)
+
+let write_file path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let run slo_path seed modules requests root prom_out report_out budget_override
+    quiet =
+  let slo = load_slo slo_path in
+  let slo =
+    match budget_override with
+    | Some us ->
+      { slo with p99_us = List.map (fun (k, _) -> (k, Int64.of_int us)) slo.p99_us }
+    | None -> slo
+  in
+  T.install ();
+  run_workload ~root ~seed ~modules ~requests;
+  let rows = measure_rows () in
+  let queries = Int64.to_int (T.counter "serve.queries") in
+  let shed = Int64.to_int (T.counter "serve.shed") in
+  let shed_pct =
+    if queries = 0 then 0.0 else 100.0 *. float_of_int shed /. float_of_int queries
+  in
+  let deadline_misses = Int64.to_int (T.counter "serve.deadline_misses") in
+  let tbl = table rows in
+  say quiet "%s" tbl;
+  say quiet "shed=%.1f%% deadline-misses=%d\n" shed_pct deadline_misses;
+  (match report_out with Some p -> write_file p tbl | None -> ());
+  (match prom_out with
+  | Some p -> write_file p (prometheus rows ~shed_pct ~deadline_misses)
+  | None -> ());
+  T.uninstall ();
+  T.reset ();
+  match evaluate slo rows ~shed_pct ~deadline_misses with
+  | [] ->
+    say quiet "slo: ok (%d kinds within budget)\n" (List.length rows);
+    0
+  | violations ->
+    List.iter (Printf.eprintf "noelle-slo: VIOLATION: %s\n") violations;
+    1
+
+let slo_path =
+  Arg.(value & opt string "slo.json" & info [ "slo" ] ~docv:"FILE.json"
+         ~doc:"the SLO spec: per-kind p99 budgets, max shed %, max deadline misses")
+let seed =
+  Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"workload seed")
+let modules =
+  Arg.(value & opt int 3 & info [ "modules" ] ~docv:"N"
+         ~doc:"corpus modules per run")
+let requests =
+  Arg.(value & opt int 150 & info [ "requests" ] ~docv:"N"
+         ~doc:"requests per measured workload")
+let root =
+  Arg.(value & opt string "_serve" & info [ "store-root" ] ~docv:"DIR"
+         ~doc:"directory holding the on-disk artifact stores")
+let prom_out =
+  Arg.(value & opt (some string) None & info [ "prom" ] ~docv:"OUT.prom"
+         ~doc:"write a Prometheus text exposition of the percentiles here")
+let report_out =
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"OUT.txt"
+         ~doc:"write the percentile table here")
+let budget_override =
+  Arg.(value & opt (some int) None & info [ "p99-budget-us" ] ~docv:"US"
+         ~doc:"override every kind's p99 budget (negative testing)")
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only report violations")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-slo"
+       ~doc:"Serve a workload, report latency percentiles per request kind, \
+             gate on the SLO spec")
+    Term.(const run $ slo_path $ seed $ modules $ requests $ root $ prom_out
+          $ report_out $ budget_override $ quiet)
+
+let () = exit (Cmd.eval' cmd)

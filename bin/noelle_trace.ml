@@ -50,7 +50,7 @@ let check_serve_metrics ~explicit path : string list =
         else Some (Printf.sprintf "%s (in %s)" c path))
       [ "serve.requests"; "serve.queries"; "serve.store.hits";
         "serve.store.writes"; "serve.shed"; "serve.recoveries";
-        "serve.quarantined" ]
+        "serve.quarantined"; "serve.flight.replayed" ]
 
 let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
     serve_metrics quiet =
@@ -74,6 +74,9 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
     metrics_out
     (List.length (Noelle.Telemetry.metrics ()));
   List.iter (fun (cat, n) -> Printf.printf "  layer %-10s %d spans\n" cat n) layers;
+  (* buffer truncation is observable, not silent: say how many events the
+     capped buffer dropped (0 in any healthy run) *)
+  Printf.printf "  events dropped: %Ld\n" (Noelle.Telemetry.counter "trace.dropped");
   (* the sparse analysis engine (DESIGN.md §11), the observable-event
      oracle (§12) and the profile-free bounds analysis (§13) must have
      been exercised: their counters are registered
@@ -90,7 +93,8 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
         "noelle.invalidate.kept";
         "obs.events"; "obs.trace_compares"; "obs.reorders_rejected";
         "psim.replay_validated";
-        "bounds.queries"; "bounds.loops_exact" ]
+        "bounds.queries"; "bounds.loops_exact";
+        "trace.dropped" ]
   in
   Noelle.Telemetry.uninstall ();
   let serve_missing =

@@ -36,6 +36,20 @@ let observe = Trace.observe
 let counter = Trace.counter
 let events = Trace.events
 let metrics = Trace.metrics
+let quantile = Trace.quantile
+let histogram = Trace.histogram
+
+(* -- request context (correlation ids) -- *)
+
+let with_request = Trace.with_request
+let current_request = Trace.current_request
+
+(* -- flight recorder (always-on crash forensics ring) -- *)
+
+let flight = Trace.flight
+let flight_reset = Trace.flight_reset
+let flight_events = Trace.flight_events
+let flight_to_json = Trace.flight_to_json
 
 (* -- export -- *)
 
@@ -107,18 +121,31 @@ type delta = {
 }
 
 (** Parse a metrics-dump JSON into (name, scalar) pairs.  Counters and
-    gauges contribute their value; histograms their sum. *)
+    gauges contribute their value under their own name; a histogram
+    expands into [name.count], [name.sum] and its quantile estimates
+    ([name.p50] .. [name.p999] when present), so {!diff_metrics} reports
+    count/sum deltas and quantile shifts instead of skipping histograms. *)
 let parse_metrics (s : string) : (string * float) list =
   match Json.parse s with
   | Json.Obj kvs ->
-    List.filter_map
+    List.concat_map
       (fun (k, v) ->
-        match Option.bind (Json.member "value" v) Json.to_num with
-        | Some f -> Some (k, f)
-        | None ->
-          (match Option.bind (Json.member "sum" v) Json.to_num with
-          | Some f -> Some (k, f)
-          | None -> None))
+        let num field = Option.bind (Json.member field v) Json.to_num in
+        match Option.bind (Json.member "type" v) Json.to_string with
+        | Some "histogram" ->
+          List.filter_map
+            (fun field ->
+              match num field with
+              | Some f -> Some (k ^ "." ^ field, f)
+              | None -> None)
+            [ "count"; "sum"; "p50"; "p95"; "p99"; "p999" ]
+        | _ -> (
+          (* counter/gauge dumps carry "value"; tolerate legacy dumps
+             with a bare "sum" for histograms *)
+          match num "value" with
+          | Some f -> [ (k, f) ]
+          | None -> (
+            match num "sum" with Some f -> [ (k, f) ] | None -> [])))
       kvs
   | _ -> failwith "metrics dump: expected a JSON object"
 

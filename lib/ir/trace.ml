@@ -73,13 +73,94 @@ let cur_tid = ref 0
 let depth = ref 0
 
 (* ------------------------------------------------------------------ *)
+(* Request context                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Correlation id of the request currently being served, if any.  Set by
+    {!with_request} (from [Serve.handle_request]); {!record} stamps it
+    into the args of every event emitted underneath — manager demand
+    entry points, Andersen / PDG / Bounds spans included — so a slow or
+    crashed request's trace rows can be grepped out by id. *)
+let cur_rid : string option ref = ref None
+
+let current_request () = !cur_rid
+
+(** Run [f] with [rid] as the ambient correlation id (exception-safe,
+    restores the previous id; works whether or not tracing is on, since
+    the flight recorder below is always-on). *)
+let with_request rid f =
+  let old = !cur_rid in
+  cur_rid := Some rid;
+  Fun.protect ~finally:(fun () -> cur_rid := old) f
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Always-on crash-forensics ring, independent of {!on} / [NOELLE_TRACE]:
+    a few hundred recent waypoints (request starts, store kill points)
+    kept in a fixed array so that when a serve process dies mid-write the
+    survivor can say exactly which request and which kill point were in
+    flight.  Cost when idle: one array store per waypoint, no allocation
+    beyond the event record itself. *)
+
+type flight_event = {
+  fts : float;  (** absolute µs ({!now_us}) — flight events outlive {!t0} resets *)
+  fname : string;
+  frid : string option;  (** ambient correlation id at push time *)
+  fargs : (string * string) list;
+}
+
+let flight_cap = 256
+let flight_ring : flight_event option array = Array.make flight_cap None
+let flight_head = ref 0  (* next slot to write *)
+let flight_total = ref 0 (* pushes since reset; dropped = total - cap *)
+
+(** Push a waypoint onto the flight ring (always records, even with
+    tracing off; oldest entry overwritten past {!flight_cap}). *)
+let flight ?(args = []) name =
+  flight_ring.(!flight_head) <-
+    Some { fts = now_us (); fname = name; frid = !cur_rid; fargs = args };
+  flight_head := (!flight_head + 1) mod flight_cap;
+  incr flight_total
+
+let flight_reset () =
+  Array.fill flight_ring 0 flight_cap None;
+  flight_head := 0;
+  flight_total := 0
+
+(** Retained flight events, oldest first. *)
+let flight_events () =
+  let n = min !flight_total flight_cap in
+  List.init n (fun i ->
+      match flight_ring.((!flight_head - n + i + flight_cap * 2) mod flight_cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let flight_count () = !flight_total
+
+(* ------------------------------------------------------------------ *)
 (* Metrics registry                                                    *)
 (* ------------------------------------------------------------------ *)
+
+(* HDR-style bucketing: log2 buckets subdivided into [sub_count] linear
+   sub-buckets, so the relative width of any bucket is at most
+   1/sub_count (12.5% with sub_count = 8) and a quantile estimated at a
+   bucket midpoint is within half that of the true value.  Values below
+   [sub_count] get exact unit buckets. *)
+let sub_bits = 3
+let sub_count = 1 lsl sub_bits (* 8 *)
+
+(* one unit bucket per value < sub_count, then sub_count sub-buckets per
+   log2 range up to 2^63 *)
+let nbuckets = sub_count + ((63 - sub_bits) * sub_count)
 
 type hist = {
   mutable hcount : int;
   mutable hsum : int64;
-  hbuckets : int array;  (** log2 buckets: index i counts values in [2^i, 2^(i+1)) *)
+  hbuckets : int array;
+      (** HDR buckets: values < [sub_count] are exact; above that, each
+          power-of-two range splits into [sub_count] linear sub-buckets *)
 }
 
 type metric =
@@ -101,11 +182,24 @@ let reset () =
 let enable ?(keep = false) () =
   if not keep then reset ();
   t0 := now_us ();
-  on := true
+  on := true;
+  (* register the drop counter up front so [noelle-trace --check] can
+     tell "zero events dropped" apart from "truncation unobserved" *)
+  match Hashtbl.find_opt registry "trace.dropped" with
+  | Some _ -> ()
+  | None -> Hashtbl.replace registry "trace.dropped" (Counter (ref 0L))
 
 let disable () = on := false
 
 let record (e : event) =
+  (* stamp the ambient correlation id so every span/event emitted under
+     [with_request] — at any depth — can be attributed to its request *)
+  let e =
+    match !cur_rid with
+    | Some r when not (List.mem_assoc "rid" e.eargs) ->
+      { e with eargs = ("rid", r) :: e.eargs }
+    | _ -> e
+  in
   if !buf_len < !max_events then begin
     buf := e :: !buf;
     incr buf_len
@@ -175,16 +269,48 @@ let hist_ref name =
   | Some (Histogram h) -> h
   | Some _ -> invalid_arg (name ^ " is not a histogram")
   | None ->
-    let h = { hcount = 0; hsum = 0L; hbuckets = Array.make 63 0 } in
+    let h = { hcount = 0; hsum = 0L; hbuckets = Array.make nbuckets 0 } in
     Hashtbl.replace registry name (Histogram h);
     h
 
+let floor_log2 (v : int64) =
+  let rec go i x =
+    if Int64.compare x 1L <= 0 then i else go (i + 1) (Int64.shift_right_logical x 1)
+  in
+  go 0 v
+
+(** Bucket index of value [v] (>= 0). *)
 let bucket_of (v : int64) =
-  if Int64.compare v 2L < 0 then 0
+  if Int64.compare v (Int64.of_int sub_count) < 0 then Int64.to_int (max 0L v)
   else begin
-    let rec go i x = if Int64.compare x 1L <= 0 then i else go (i + 1) (Int64.shift_right_logical x 1) in
-    min 62 (go 0 v)
+    let m = min 62 (floor_log2 v) in
+    (* linear position of the top [sub_bits] bits below the leading one *)
+    let sub =
+      Int64.to_int (Int64.shift_right_logical v (m - sub_bits)) - sub_count
+    in
+    ((m - sub_bits) * sub_count) + sub_count + sub
   end
+
+(** Inclusive lower bound of bucket [i]. *)
+let bucket_lower i =
+  if i < sub_count then Int64.of_int i
+  else begin
+    let b = (i - sub_count) / sub_count in
+    let sub = (i - sub_count) mod sub_count in
+    Int64.shift_left (Int64.of_int (sub_count + sub)) b
+  end
+
+(** Width (number of distinct values) of bucket [i]. *)
+let bucket_width i =
+  if i < sub_count then 1L
+  else Int64.shift_left 1L ((i - sub_count) / sub_count)
+
+(** Representative midpoint of bucket [i] — the value quantile estimates
+    report, within 1/(2*sub_count) relative error of anything in the
+    bucket. *)
+let bucket_mid i =
+  let w = bucket_width i in
+  Int64.add (bucket_lower i) (Int64.div (Int64.sub w 1L) 2L)
 
 (** Record one observation of [v] (clamped at 0) into log-scale histogram
     [name]; no-op when disabled. *)
@@ -203,6 +329,27 @@ let histogram name =
   | Some (Histogram h) -> Some h
   | _ -> None
 
+(** Estimate the [q]-quantile (0 < q <= 1) of histogram [h] by cumulative
+    bucket walk, reporting the midpoint of the bucket holding the target
+    rank.  Relative error is bounded by half the bucket's relative width:
+    <= 1/(2*sub_count) = 6.25%, well inside the 12.5% contract.  Returns
+    0 for an empty histogram. *)
+let quantile (h : hist) (q : float) : int64 =
+  if h.hcount = 0 then 0L
+  else begin
+    let target =
+      max 1 (min h.hcount (int_of_float (ceil (q *. float_of_int h.hcount))))
+    in
+    let rec walk i seen =
+      if i >= nbuckets then bucket_mid (nbuckets - 1)
+      else begin
+        let seen = seen + h.hbuckets.(i) in
+        if seen >= target then bucket_mid i else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
 (** All registered metrics, sorted by name. *)
 let metrics () =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) registry []
@@ -212,6 +359,13 @@ let metrics () =
 let counters () =
   List.filter_map
     (fun (k, m) -> match m with Counter r -> Some (k, !r) | _ -> None)
+    (metrics ())
+
+(** Gauge metrics only, sorted — bench-derived rates and percentiles live
+    here, out of the counter namespace diffed by [--compare]. *)
+let gauges () =
+  List.filter_map
+    (fun (k, m) -> match m with Gauge r -> Some (k, !r) | _ -> None)
     (metrics ())
 
 (* ------------------------------------------------------------------ *)
@@ -545,11 +699,33 @@ let hist_to_json (h : hist) =
     Array.to_list h.hbuckets
     |> List.mapi (fun i c -> (i, c))
     |> List.filter (fun (_, c) -> c > 0)
-    |> List.map (fun (i, c) ->
-           Printf.sprintf "\"%Ld\":%d" (Int64.shift_left 1L i) c)
+    |> List.map (fun (i, c) -> Printf.sprintf "\"%Ld\":%d" (bucket_lower i) c)
   in
-  Printf.sprintf "{\"type\":\"histogram\",\"count\":%d,\"sum\":%Ld,\"buckets\":{%s}}"
-    h.hcount h.hsum (String.concat "," buckets)
+  let pcts =
+    if h.hcount = 0 then ""
+    else
+      Printf.sprintf ",\"p50\":%Ld,\"p95\":%Ld,\"p99\":%Ld,\"p999\":%Ld"
+        (quantile h 0.5) (quantile h 0.95) (quantile h 0.99) (quantile h 0.999)
+  in
+  Printf.sprintf
+    "{\"type\":\"histogram\",\"count\":%d,\"sum\":%Ld%s,\"buckets\":{%s}}"
+    h.hcount h.hsum pcts (String.concat "," buckets)
+
+(** The flight ring as JSON — what [noelle-serve] dumps to
+    [_serve/flight.json] on trap and crash recovery replays. *)
+let flight_to_json () =
+  let ev (e : flight_event) =
+    let rid =
+      match e.frid with
+      | Some r -> Printf.sprintf ",\"rid\":\"%s\"" (json_escape r)
+      | None -> ""
+    in
+    Printf.sprintf "{\"ts\":%.3f,\"name\":\"%s\"%s,\"args\":%s}" e.fts
+      (json_escape e.fname) rid (args_to_json e.fargs)
+  in
+  Printf.sprintf "{\"flightEvents\":[%s],\"dropped\":%d}"
+    (String.concat "," (List.map ev (flight_events ())))
+    (max 0 (!flight_total - flight_cap))
 
 (** The metrics registry as a flat JSON object, sorted by key — the dump
     [noelle-trace --compare] diffs. *)

@@ -49,6 +49,15 @@ type config = {
 let default_config =
   { deadline = 4; retries = 3; high_water = 64; low_water = 8; shed_check = 0 }
 
+(** What a replayed flight dump said was in flight when the previous
+    process died: the last request started and the last store kill-point
+    reached, each with its correlation id. *)
+type flight_info = {
+  fi_req : (int * string) option;  (** request index, rid *)
+  fi_kill : (int * string) option;  (** kill sub-point, rid *)
+  fi_events : int;  (** events retained in the dump *)
+}
+
 type server = {
   store : Store.t;
   corpus : (string * Irmod.t) list;
@@ -63,6 +72,9 @@ type server = {
   mutable recoveries : int;
   mutable recovery_ms : float;  (** cumulative store-recovery wall time *)
   sink_wrote : bool ref;  (** did the manager's sink persist this query? *)
+  flight_replay : flight_info option;
+      (** parsed [<root>/flight.json] found at startup — crash forensics
+          from the previous incarnation *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -155,7 +167,61 @@ let register_counters () =
       "serve.requests"; "serve.queries"; "serve.edits"; "serve.computed";
       "serve.shed"; "serve.retries"; "serve.deadline_misses";
       "serve.breaker.opens"; "serve.recoveries"; "serve.killed";
+      "serve.flight.replayed";
     ]
+
+(* ------------------------------------------------------------------ *)
+(* Flight recorder dump / replay                                       *)
+(* ------------------------------------------------------------------ *)
+
+let flight_path root = Filename.concat root "flight.json"
+
+(** Dump the always-on flight ring to [<root>/flight.json] — called on a
+    trap (simulated kill) so the post-mortem names what was in flight. *)
+let dump_flight (root : string) : string =
+  Store.mkdir_p root;
+  let path = flight_path root in
+  let oc = open_out path in
+  output_string oc (Trace.flight_to_json ());
+  close_out oc;
+  path
+
+(** Parse a flight dump left by a previous incarnation: the last
+    [serve.request] and [store.kill] waypoints identify the in-flight
+    request and kill sub-point.  Returns [None] when there is no dump or
+    it is unreadable (forensics must never block recovery). *)
+let replay_flight (root : string) : flight_info option =
+  let path = flight_path root in
+  if not (Sys.file_exists path) then None
+  else
+    try
+      let module J = Trace.Json in
+      let doc = J.parse (Store.read_all path) in
+      let evs =
+        Option.bind (J.member "flightEvents" doc) J.to_list
+        |> Option.value ~default:[]
+      in
+      let req = ref None and kill = ref None in
+      List.iter
+        (fun e ->
+          let str f = Option.bind (J.member f e) J.to_string in
+          let arg f =
+            Option.bind (J.member "args" e) (fun a ->
+                Option.bind (J.member f a) J.to_string)
+          in
+          match (str "name", str "rid") with
+          | Some "serve.request", Some rid -> (
+            match Option.bind (arg "idx") int_of_string_opt with
+            | Some i -> req := Some (i, rid)
+            | None -> ())
+          | Some "store.kill", Some rid -> (
+            match Option.bind (arg "point") int_of_string_opt with
+            | Some p -> kill := Some (p, rid)
+            | None -> ())
+          | _ -> ())
+        evs;
+      Some { fi_req = !req; fi_kill = !kill; fi_events = List.length evs }
+    with _ -> None
 
 (** Wire a manager's artifact sink to the store: exact results flow to
     disk as they are computed.  The sink raises {!Store.Killed} when a
@@ -176,6 +242,10 @@ let create ?(cfg = default_config) ~(root : string)
     (corpus : (string * Irmod.t) list) : server =
   register_counters ();
   let t0 = Unix.gettimeofday () in
+  (* crash forensics first: a flight dump left by a killed predecessor is
+     replayed before the store's own recovery touches the root *)
+  let flight_replay = replay_flight root in
+  if flight_replay <> None then Trace.incr_m "serve.flight.replayed";
   let store = Store.open_store root in
   let sv =
     {
@@ -191,6 +261,7 @@ let create ?(cfg = default_config) ~(root : string)
       recoveries = 0;
       recovery_ms = (Unix.gettimeofday () -. t0) *. 1000.;
       sink_wrote = ref false;
+      flight_replay;
     }
   in
   List.iter
@@ -309,9 +380,15 @@ let shed_deps (sv : server) (mname : string) (m : Irmod.t) (f : Func.t) : answer
     adegraded = true;
   }
 
-(** Serve one request.  May raise {!Store.Killed} (armed kill fault
-    firing inside a store write): the caller recovers via {!restart}. *)
-let handle (sv : server) (idx : int) (req : Workload.req) : answer =
+(** Request kind label — the latency-histogram / SLO bucket. *)
+let kind_label = function
+  | Workload.Edit _ -> "edit"
+  | Workload.Query { qkind; _ } -> Workload.qkind_to_string qkind
+
+(* the uninstrumented core; {!handle_request} wraps it in the request
+   context (correlation id), the flight waypoint, and the per-kind
+   latency histogram *)
+let serve_request (sv : server) (idx : int) (req : Workload.req) : answer =
   Trace.incr_m "serve.requests";
   let finish a = { a with aidx = idx; areq = Workload.req_to_string req } in
   match req with
@@ -354,7 +431,10 @@ let handle (sv : server) (idx : int) (req : Workload.req) : answer =
       { Store.kmod = qmod; kshard = shard_of sv qmod m fn; kfn = fn;
         kkind = store_kind }
     in
-    let verdict = lookup_with_deadline sv key ~fp ~afp in
+    let verdict =
+      Trace.span ~cat:"serve" "serve.phase.store_lookup" (fun () ->
+          lookup_with_deadline sv key ~fp ~afp)
+    in
     let store_avail = verdict <> None in
     (match verdict with
     | Some (Store.Hit payload) ->
@@ -371,20 +451,24 @@ let handle (sv : server) (idx : int) (req : Workload.req) : answer =
     | Some Store.Miss_absent | Some (Store.Miss_stale _)
     | Some (Store.Miss_corrupt _) | None ->
       if sv.breaker_open && qkind = Workload.Qdeps then
-        finish (shed_deps sv qmod m f)
+        finish
+          (Trace.span ~cat:"serve" "serve.phase.shed" (fun () ->
+               shed_deps sv qmod m f))
       else begin
         Trace.incr_m "serve.computed";
         sv.sink_wrote := false;
         let payload =
-          match qkind with
-          | Workload.Qdeps -> Pdg.payload (Noelle.pdg mgr f)
-          | Workload.Qbounds -> Bounds.summary_payload (Noelle.bounds mgr f)
-          | Workload.Qloops -> loops_payload f (Noelle.loopnest mgr f)
+          Trace.span ~cat:"serve" "serve.phase.recompute" (fun () ->
+              match qkind with
+              | Workload.Qdeps -> Pdg.payload (Noelle.pdg mgr f)
+              | Workload.Qbounds -> Bounds.summary_payload (Noelle.bounds mgr f)
+              | Workload.Qloops -> loops_payload f (Noelle.loopnest mgr f))
         in
         (* manager cache hit (sink silent) or kind without a sink: persist
            explicitly so the next process finds it *)
         if store_avail && not !(sv.sink_wrote) then
-          Store.write sv.store key ~fp ~afp ~payload;
+          Trace.span ~cat:"serve" "serve.phase.persist" (fun () ->
+              Store.write sv.store key ~fp ~afp ~payload);
         sv.now <- sv.now + 4;
         finish
           {
@@ -396,6 +480,33 @@ let handle (sv : server) (idx : int) (req : Workload.req) : answer =
             adegraded = false;
           }
       end)
+
+(** Serve one request.  May raise {!Store.Killed} (armed kill fault
+    firing inside a store write): the caller recovers via {!restart}.
+
+    Pushes the request's correlation id ([req-<idx>]) as the ambient
+    request context — every span/event emitted underneath (store phases,
+    manager demand entry points, Andersen/PDG/Bounds spans) is stamped
+    with it — drops a [serve.request] waypoint on the always-on flight
+    ring, and records the request's wall time into the per-kind
+    [serve.latency_us.*] histogram. *)
+let handle_request (sv : server) (idx : int) (req : Workload.req) : answer =
+  let kind = kind_label req in
+  Trace.with_request (Printf.sprintf "req-%d" idx) (fun () ->
+      Trace.flight "serve.request"
+        ~args:
+          [
+            ("idx", string_of_int idx); ("kind", kind);
+            ("req", Workload.req_to_string req);
+          ];
+      let t_req = Trace.now_us () in
+      let a = serve_request sv idx req in
+      Trace.observe
+        ("serve.latency_us." ^ kind)
+        (Int64.of_float (Trace.now_us () -. t_req));
+      a)
+
+let handle = handle_request
 
 (* ------------------------------------------------------------------ *)
 (* Rate-driven run loop: backlog, circuit breaker                      *)
@@ -522,8 +633,10 @@ let soak_one ~(corpus_of : unit -> (string * Irmod.t) list) ~(root : string)
   let plan = Faultgen.serve_plan ~seed ~requests in
   let live_root = Filename.concat root (Printf.sprintf "seed%d" seed) in
   Store.remove_tree live_root;
+  Trace.flight_reset ();
   let sv = ref (create ~root:live_root (select (corpus_of ()))) in
   let answers = ref [] and kills = ref 0 in
+  let flight_errs = ref [] in
   let applied = Hashtbl.create 8 in
   let i = ref 0 in
   (try
@@ -538,10 +651,34 @@ let soak_one ~(corpus_of : unit -> (string * Irmod.t) list) ~(root : string)
        | a ->
          answers := a :: !answers;
          incr i
-       | exception Store.Killed _ ->
+       | exception Store.Killed msg ->
          incr kills;
          Trace.incr_m "serve.killed";
-         sv := restart !sv ~root:live_root
+         (* the "process" died mid-write: dump the flight ring (what a
+            trap handler would do), recover, and demand the replayed
+            dump names exactly this request and kill sub-point *)
+         ignore (dump_flight live_root);
+         sv := restart !sv ~root:live_root;
+         let rid = Printf.sprintf "req-%d" !i in
+         let point =
+           try Scanf.sscanf msg "kill-mid-write@%d" (fun p -> Some p)
+           with _ -> None
+         in
+         let err fmt = Printf.ksprintf (fun s -> flight_errs := s :: !flight_errs) fmt in
+         (match ((!sv).flight_replay, point) with
+         | Some fi, Some p ->
+           (match fi.fi_req with
+           | Some (ri, rr) when ri = !i && rr = rid -> ()
+           | Some (ri, rr) ->
+             err "kill@req %d: flight names request %d rid=%s" !i ri rr
+           | None -> err "kill@req %d: flight has no serve.request" !i);
+           (match fi.fi_kill with
+           | Some (kp, kr) when kp = p && kr = rid -> ()
+           | Some (kp, kr) ->
+             err "kill@req %d point %d: flight names point %d rid=%s" !i p kp kr
+           | None -> err "kill@req %d: flight has no store.kill" !i)
+         | None, _ -> err "kill@req %d: no flight dump replayed" !i
+         | _, None -> err "kill@req %d: unparseable kill message %s" !i msg)
      done
    with Trust.Tainted why ->
      answers :=
@@ -572,6 +709,12 @@ let soak_one ~(corpus_of : unit -> (string * Irmod.t) list) ~(root : string)
     match mismatch with
     | Some _ as m -> m
     | None -> if degraded then Some "degraded answer in fault-free run" else None
+  in
+  let mismatch =
+    match (mismatch, List.rev !flight_errs) with
+    | (Some _ as m), _ -> m
+    | None, [] -> None
+    | None, errs -> Some ("flight: " ^ String.concat "; " errs)
   in
   ( {
       sseed = seed;

@@ -407,6 +407,11 @@ let write (t : t) (k : key) ~(fp : string) ~(afp : string)
   if kill then begin
     t.armed <- None;
     let die point =
+      (* waypoint for the flight recorder: the post-mortem dump must name
+         the exact kill sub-point (and, via the ambient rid, the request)
+         that was in flight when the process died *)
+      Trace.flight "store.kill"
+        ~args:[ ("point", string_of_int point); ("rel", rel) ];
       close t;
       raise (Killed (Printf.sprintf "kill-mid-write@%d %s" point rel))
     in

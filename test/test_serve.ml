@@ -293,6 +293,112 @@ let test_overload_gate () =
       checkb "degraded iff shed" (a.Serve.adegraded = (a.Serve.asource = "degraded")))
     r.Serve.ranswers
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped observability                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Walk the trace of a multi-request workload: every span/event emitted
+    while serving — store phases, manager demand entry points, Andersen /
+    PDG / Bounds spans — must carry its request's correlation id. *)
+let test_correlation_ids () =
+  let module T = Noelle.Telemetry in
+  T.install ();
+  Fun.protect ~finally:(fun () -> T.uninstall (); T.reset ())
+  @@ fun () ->
+  let root = fresh_root "rid" in
+  let w = Workload.generate ~seed:5 ~mods:[ "m" ] ~requests:25 in
+  let sv = Serve.create ~root (mini_corpus ()) in
+  let r = Serve.run sv w () in
+  Serve.Store.close sv.Serve.store;
+  checki "all served" 25 r.Serve.rserved;
+  let evs = T.events () in
+  checkb "trace nonempty" (evs <> []);
+  let rid (e : Ir.Trace.event) = List.assoc_opt "rid" e.Ir.Trace.eargs in
+  List.iter
+    (fun (e : Ir.Trace.event) ->
+      match rid e with
+      | Some r ->
+        checkb
+          (Printf.sprintf "%s rid well-formed (%s)" e.Ir.Trace.ename r)
+          (String.length r > 4 && String.sub r 0 4 = "req-")
+      | None ->
+        Alcotest.failf "event %s (cat %s) has no correlation id"
+          e.Ir.Trace.ename e.Ir.Trace.ecat)
+    evs;
+  let rids = List.sort_uniq compare (List.filter_map rid evs) in
+  checkb "multiple requests traced" (List.length rids >= 2);
+  (* phase spans and deep analysis spans both present and stamped *)
+  let has cat pfx =
+    List.exists
+      (fun (e : Ir.Trace.event) ->
+        e.Ir.Trace.ecat = cat
+        && String.length e.Ir.Trace.ename >= String.length pfx
+        && String.sub e.Ir.Trace.ename 0 (String.length pfx) = pfx
+        && rid e <> None)
+      evs
+  in
+  checkb "store_lookup phase stamped" (has "serve" "serve.phase.store_lookup");
+  checkb "recompute phase stamped" (has "serve" "serve.phase.recompute");
+  checkb "analysis spans stamped" (has "analysis" "noelle.");
+  (* per-kind latency histograms populated *)
+  List.iter
+    (fun kind ->
+      match Ir.Trace.histogram ("serve.latency_us." ^ kind) with
+      | Some h -> checkb (kind ^ " latencies observed") (h.Ir.Trace.hcount > 0)
+      | None -> Alcotest.failf "no latency histogram for %s" kind)
+    [ "edit"; "deps"; "bounds"; "loops" ]
+
+(** Flight ring → dump → replay round-trip on a healthy server. *)
+let test_flight_dump_replay () =
+  let root = fresh_root "flight" in
+  Ir.Trace.flight_reset ();
+  let sv = Serve.create ~root (mini_corpus ()) in
+  checkb "fresh root: nothing to replay" (sv.Serve.flight_replay = None);
+  let q i k = Serve.handle sv i (Workload.Query { qmod = "m"; qfn = i; qkind = k }) in
+  ignore (q 0 Workload.Qdeps);
+  ignore (q 1 Workload.Qbounds);
+  ignore (q 2 Workload.Qloops);
+  Serve.Store.close sv.Serve.store;
+  ignore (Serve.dump_flight root);
+  match Serve.replay_flight root with
+  | None -> Alcotest.fail "dump did not replay"
+  | Some fi ->
+    checkb "last request named" (fi.Serve.fi_req = Some (2, "req-2"));
+    checkb "no kill recorded" (fi.Serve.fi_kill = None);
+    checkb "waypoints retained" (fi.Serve.fi_events >= 3)
+
+(** Deterministic kill forensics: at each kill sub-point the dumped
+    flight ring must name the in-flight request and the exact point. *)
+let test_flight_kill_forensics () =
+  List.iter
+    (fun point ->
+      let root = fresh_root (Printf.sprintf "fkill%d" point) in
+      Ir.Trace.flight_reset ();
+      let sv = ref (Serve.create ~root (mini_corpus ())) in
+      (* a compute query that writes through the sink, with a kill armed
+         at sub-point [point] (arm seed = point, kill_point = seed mod 3) *)
+      Store.arm (!sv).Serve.store Faultgen.Kill_mid_write ~seed:point ~now:0
+        ~stall_ticks:0;
+      let q = Workload.Query { qmod = "m"; qfn = 1; qkind = Workload.Qdeps } in
+      (match Serve.handle !sv 7 q with
+      | _ -> Alcotest.fail "armed kill did not fire"
+      | exception Store.Killed msg ->
+        checkb "kill names its point"
+          (Scanf.sscanf msg "kill-mid-write@%d" (fun p -> p) = point));
+      ignore (Serve.dump_flight root);
+      sv := Serve.restart !sv ~root;
+      (match (!sv).Serve.flight_replay with
+      | None -> Alcotest.fail "recovery found no flight dump"
+      | Some fi ->
+        checkb
+          (Printf.sprintf "point %d: in-flight request named" point)
+          (fi.Serve.fi_req = Some (7, "req-7"));
+        checkb
+          (Printf.sprintf "point %d: kill point named with rid" point)
+          (fi.Serve.fi_kill = Some (point, "req-7")));
+      Serve.Store.close (!sv).Serve.store)
+    [ 0; 1; 2 ]
+
 let test_counters_registered () =
   Noelle.Telemetry.install ();
   let root = fresh_root "counters" in
@@ -335,6 +441,12 @@ let suite =
       test_soak_mini;
     Alcotest.test_case "serve: overload sheds, never wrong" `Quick
       test_overload_gate;
+    Alcotest.test_case "serve: every traced event carries its rid" `Quick
+      test_correlation_ids;
+    Alcotest.test_case "serve: flight dump/replay round-trip" `Quick
+      test_flight_dump_replay;
+    Alcotest.test_case "serve: flight names request + kill point" `Quick
+      test_flight_kill_forensics;
     Alcotest.test_case "serve: telemetry counters registered" `Quick
       test_counters_registered;
   ]
