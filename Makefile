@@ -1,4 +1,4 @@
-.PHONY: check build test faultcheck lint verify-meta trace validate bounds serve slo bench-json bench-gate bench-regress
+.PHONY: check build test faultcheck lint verify-meta trace validate bounds vec serve slo bench-json bench-gate bench-regress
 
 build:
 	dune build
@@ -40,7 +40,7 @@ trace: build
 # every planted effect reorder must be rejected with an event-diff witness
 # that the legacy output-compare gate provably misses
 validate: build
-	dune exec bin/noelle_validate.exe -- --seeds 10 -q
+	dune exec bin/noelle_validate.exe -- --seeds 50 --vec -q
 
 # profile-free planning gates (DESIGN.md §13): interpreter-measured trip
 # counts must never exceed the static bounds (exactly equal on affine
@@ -49,6 +49,14 @@ validate: build
 # geomean of the two plans must stay within 10%
 bounds: build
 	dune exec bin/noelle_bounds.exe -- --seeds 50 -q
+
+# vectorizer gate (DESIGN.md §16): corpus sweep where every widened kernel
+# must verify, preserve interpreter output, and clear the observable-event
+# trace gate with no new noelle-check errors; jpeg-dct, lbm and
+# blackscholes must actually vectorize, and at least one divergent kernel
+# must vectorize via if-conversion
+vec: build
+	dune exec bin/noelle_vec.exe -- -q
 
 # analysis-as-a-service gates (DESIGN.md §14): workload replay must answer
 # from the persistent store across a process restart; the 50-seed
@@ -74,7 +82,7 @@ slo: build
 # gauges per kernel), plus the synthetic scaling comparison of the sparse
 # analysis engine against the naive solver/builder paths (DESIGN.md §11)
 bench-json: build
-	dune exec bench/main.exe -- --json figure3 scaling bounds serve slo
+	dune exec bench/main.exe -- --json figure3 figure5 scaling bounds serve slo
 
 # bench-history regression gate: rerun the instrumented sections and diff
 # them against the checked-in BENCH_*.json baselines — counter deltas must
@@ -83,7 +91,7 @@ bench-json: build
 # self-checks by injecting a one-count counter regression that must be
 # detected.  Runs BEFORE bench-gate, which regenerates the files.
 bench-regress: build
-	dune exec bench/main.exe -- --compare figure3 scaling bounds serve slo
+	dune exec bench/main.exe -- --compare figure3 figure5 scaling bounds serve slo
 
 # smoke gate over the freshly regenerated bench JSON: the sparse engine
 # must actually have run (delta propagations and bucketing skips logged)
@@ -104,5 +112,9 @@ bench-gate: bench-json
 	grep -q '"serve.bench.recovery_us"' BENCH_serve.json
 	grep -q 'p99_us"' BENCH_slo.json
 	grep -q '"serve.bench.trace_overhead_pct"' BENCH_slo.json
+	grep -q '"vec.loops_considered"' BENCH_figure5.json
+	grep -q '"vec.vectorized"' BENCH_figure5.json
+	grep -q '"vec.if_converted"' BENCH_figure5.json
+	grep -q '"fig5.blackscholes.vec"' BENCH_figure5.json
 
-check: build test faultcheck lint verify-meta serve trace validate bounds slo bench-regress bench-gate
+check: build test faultcheck lint verify-meta serve trace validate bounds vec slo bench-regress bench-gate

@@ -6,7 +6,7 @@
 open Cmdliner
 
 let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
-    analysis_budget check_races no_profile verify_meta legacy_differential
+    analysis_budget check_races no_profile vec verify_meta legacy_differential
     trace_diff output quiet =
   let m =
     match (input, fuzz_seed) with
@@ -21,7 +21,7 @@ let run input fuzz_seed inputs fuel inject_seed psim_fault_seed persistent_tid
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   let report =
     Ntools.Passes.run_standard ~inputs ~fuel ?inject_seed ~check_races
-      ~no_profile ?analysis_budget ~verify_meta ~legacy_differential m
+      ~no_profile ~vec ?analysis_budget ~verify_meta ~legacy_differential m
   in
   print_string (Noelle.Pipeline.report_to_string report);
   if trace_diff then
@@ -87,6 +87,13 @@ let no_profile =
          ~doc:"profile-free planning: the parallelizers select loops and \
                pick chunk sizes from Ir.Bounds static trip counts and cost \
                polynomials instead of embedded profile metadata")
+let vec =
+  Arg.(value & flag & info [ "vec" ]
+         ~doc:"run the Ntools.Vec loop vectorizer ahead of the \
+               parallelizers: loops where the Psim SIMD model beats the \
+               DOALL model are widened into lane groups (with \
+               if-conversion for divergent bodies) and the rest fall \
+               through to DOALL/HELIX/DSWP")
 let verify_meta =
   Arg.(value & flag & info [ "verify-meta" ]
          ~doc:"metadata trust gate: quarantine embedded analysis artifacts \
@@ -108,7 +115,7 @@ let cmd =
     (Cmd.info "noelle-pipeline"
        ~doc:"Transactional pass pipeline with verification and differential gates")
     Term.(const run $ input $ fuzz_seed $ inputs $ fuel $ inject_seed $ psim_fault_seed
-          $ persistent_tid $ analysis_budget $ check_races $ no_profile
+          $ persistent_tid $ analysis_budget $ check_races $ no_profile $ vec
           $ verify_meta $ legacy_differential $ trace_diff $ output $ quiet)
 
 let () = exit (Cmd.eval' cmd)

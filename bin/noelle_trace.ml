@@ -57,7 +57,7 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
   let m = load input fuzz_seed kernel in
   let inputs = if inputs = [] then [ [] ] else List.map (fun n -> [ n ]) inputs in
   Noelle.Telemetry.install ();
-  let report = Ntools.Passes.run_standard ~inputs ~fuel m in
+  let report = Ntools.Passes.run_standard ~inputs ~fuel ~vec:true m in
   if not quiet then print_string (Noelle.Pipeline.report_to_string report);
   Noelle.Telemetry.save_trace out;
   Noelle.Telemetry.save_metrics metrics_out;
@@ -94,6 +94,8 @@ let trace_cmd input fuzz_seed kernel inputs fuel out metrics_out check
         "obs.events"; "obs.trace_compares"; "obs.reorders_rejected";
         "psim.replay_validated";
         "bounds.queries"; "bounds.loops_exact";
+        "vec.loops_considered"; "vec.vectorized"; "vec.if_converted";
+        "vec.rejected";
         "trace.dropped" ]
   in
   Noelle.Telemetry.uninstall ();

@@ -30,7 +30,7 @@ let reorder_pass seed : Noelle.Pipeline.pass =
     plicense = Ir.Obs.Exact;
   }
 
-let run limit seeds fuel quiet =
+let run limit seeds fuel vec quiet =
   let say fmt =
     Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
   in
@@ -49,7 +49,7 @@ let run limit seeds fuel quiet =
       (* per-kernel budget, with the same parallel-simulation headroom the
          bench harness grants (a parallel run burns fuel on every task) *)
       let kfuel = 4 * k.Bsuite.Kernels.fuel in
-      let report = Ntools.Passes.run_standard ~fuel:kfuel m in
+      let report = Ntools.Passes.run_standard ~fuel:kfuel ~vec m in
       let committed = List.length (Noelle.Pipeline.committed report) in
       let bad =
         List.filter
@@ -82,9 +82,27 @@ let run limit seeds fuel quiet =
     kernels;
   (* -- gate 3: planted effect reorders over seeded fuzz programs -- *)
   let planted = ref 0 and caught = ref 0 and legacy_missed = ref 0 in
+  let vec_committed = ref 0 in
   for seed = 1 to seeds do
     let src = Bsuite.Generator.program seed in
     let name = Printf.sprintf "fuzz%d" seed in
+    let config = { Noelle.Pipeline.default_config with Noelle.Pipeline.fuel } in
+    (* with --vec every fuzz seed also routes through a live vec pass
+       under the trace-equivalence gate: a rollback here means the
+       vectorizer itself broke the program's observable behaviour *)
+    if vec then begin
+      let mv = Minic.Lower.compile ~name src in
+      let nv = Noelle.create mv in
+      let rv = Noelle.Pipeline.run ~config mv [ Ntools.Passes.vec nv ] in
+      List.iter
+        (fun (e : Noelle.Pipeline.entry) ->
+          match e.Noelle.Pipeline.eoutcome with
+          | Noelle.Pipeline.Committed _ -> incr vec_committed
+          | o ->
+            fail "seed %d: vec pass: %s" seed
+              (Noelle.Pipeline.outcome_to_string o))
+        rv.Noelle.Pipeline.entries
+    end;
     let probe = Minic.Lower.compile ~name src in
     match
       Ir.Faultgen.inject ~kinds:Ir.Faultgen.observable_kinds ~seed probe
@@ -92,7 +110,6 @@ let run limit seeds fuel quiet =
     | None -> ()
     | Some desc ->
       incr planted;
-      let config = { Noelle.Pipeline.default_config with Noelle.Pipeline.fuel } in
       let m = Minic.Lower.compile ~name src in
       let r = Noelle.Pipeline.run ~config m [ reorder_pass seed ] in
       (match r.Noelle.Pipeline.entries with
@@ -124,6 +141,9 @@ let run limit seeds fuel quiet =
     "effect-reorder sweep: %d planted, %d caught by the trace gate, %d \
      missed by the legacy gate\n"
     !planted !caught !legacy_missed;
+  if vec then
+    say "vec sweep: %d fuzz seeds cleared the trace gate under the vec pass\n"
+      !vec_committed;
   if !failures = [] then begin
     say "validate: %d kernels clean, trace gate strictly stronger\n"
       (List.length kernels);
@@ -144,12 +164,17 @@ let fuel =
   Arg.(value & opt int 3_000_000 & info [ "fuel" ] ~docv:"N"
          ~doc:"interpreter fuel per fuzz-program differential run (kernels \
                use their own per-kernel budget)")
+let vec =
+  Arg.(value & flag & info [ "vec" ]
+         ~doc:"route the vectorizer into both sweeps: the corpus gate runs \
+               the --vec pass stack, and each planted effect-reorder seed \
+               runs behind a live vec pass")
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only report failures")
 
 let cmd =
   Cmd.v
     (Cmd.info "noelle-validate"
        ~doc:"Translation validation: trace-equivalence gates over the corpus")
-    Term.(const run $ limit $ seeds $ fuel $ quiet)
+    Term.(const run $ limit $ seeds $ fuel $ vec $ quiet)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,104 @@
+(** noelle-vec — vectorizer gate over the benchmark corpus.
+
+    For every kernel the vectorizer touches, three checks must hold:
+    the module still verifies, the interpreter output is unchanged, and
+    the observable-event trace is equivalent under the vectorizer's
+    commutation license.  noelle-check must report no new errors on the
+    widened module.  On top of the per-kernel checks, the regular
+    kernels that exist to be vectorized (jpeg-dct, lbm, blackscholes)
+    must counter-assert [vec.vectorized > 0], and at least one divergent
+    kernel must vectorize via if-conversion ([vec.if_converted > 0]) —
+    a sweep where predication never fires proves nothing about it. *)
+
+open Cmdliner
+
+let must_vectorize = [ "jpeg-dct"; "lbm"; "blackscholes" ]
+
+let run limit quiet =
+  let say fmt =
+    Printf.ksprintf (fun s -> if not quiet then print_string s) fmt
+  in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  Noelle.Telemetry.install ();
+  let kernels =
+    match limit with
+    | Some n -> List.filteri (fun i _ -> i < n) Bsuite.Kernels.all
+    | None -> Bsuite.Kernels.all
+  in
+  List.iter
+    (fun (k : Bsuite.Kernels.kernel) ->
+      let name = k.Bsuite.Kernels.kname in
+      let pristine = Bsuite.Kernels.compile k in
+      let m = Bsuite.Kernels.compile k in
+      (* widened bodies execute more instructions per group; grant the
+         same headroom the bench harness does *)
+      let kfuel = 4 * k.Bsuite.Kernels.fuel in
+      let before = Noelle.Telemetry.counter "vec.vectorized" in
+      let n = Noelle.create m in
+      let outcomes = Ntools.Vec.run n m ~only_best:false () in
+      let stats =
+        List.filter_map (fun (_, r) -> Result.to_option r) outcomes
+      in
+      let delta =
+        Int64.sub (Noelle.Telemetry.counter "vec.vectorized") before
+      in
+      if stats <> [] then begin
+        (match Ir.Verify.check m with
+        | Ok () -> ()
+        | Error e -> fail "%s: verifier: %s" name e);
+        let _, out_ref = Ir.Interp.run ~fuel:kfuel pristine in
+        let _, out_vec = Ir.Interp.run ~fuel:kfuel m in
+        if String.trim out_ref <> String.trim out_vec then
+          fail "%s: interpreter output changed" name;
+        let _, _, tref = Ir.Obs.run ~fuel:kfuel pristine in
+        let _, _, tcand = Ir.Obs.run ~fuel:kfuel m in
+        (match
+           Ir.Obs.check ~license:Ir.Obs.Permute_iterations ~reference:tref
+             ~candidate:tcand
+         with
+        | Ok () -> ()
+        | Error (reason, witness) ->
+          fail "%s: trace gate: %s" name reason;
+          if not quiet then List.iter print_endline witness);
+        (* no new static-analysis errors on the widened module *)
+        let errs m = List.length (Noelle.Check.errors (Noelle.Check.run m)) in
+        let before_errs = errs pristine and after_errs = errs m in
+        if after_errs > before_errs then
+          fail "%s: noelle-check errors went %d -> %d" name before_errs
+            after_errs
+      end;
+      if List.mem name must_vectorize && delta <= 0L then
+        fail "%s: expected vec.vectorized > 0, loop left scalar" name;
+      say "%-16s %d vectorized / %d considered%s\n" name (List.length stats)
+        (List.length outcomes)
+        (if List.exists (fun (s : Ntools.Vec.stats) -> s.Ntools.Vec.if_converted) stats
+         then " (if-converted)"
+         else ""))
+    kernels;
+  if limit = None && Noelle.Telemetry.counter "vec.if_converted" = 0L then
+    fail "no divergent kernel vectorized via if-conversion";
+  Noelle.Telemetry.uninstall ();
+  if !failures = [] then begin
+    say "vec gate: %d kernels clean\n" (List.length kernels);
+    0
+  end
+  else begin
+    List.iter (Printf.eprintf "noelle-vec: %s\n") (List.rev !failures);
+    1
+  end
+
+let limit =
+  Arg.(value & opt (some int) None & info [ "limit" ] ~docv:"N"
+         ~doc:"gate only the first $(docv) kernels (skips the must-vectorize \
+               and if-conversion assertions when they fall outside the \
+               prefix)")
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"only report failures")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "noelle-vec"
+       ~doc:"Vectorizer gate: corpus sweep with semantic and trace checks")
+    Term.(const run $ limit $ quiet)
+
+let () = exit (Cmd.eval' cmd)

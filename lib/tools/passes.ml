@@ -77,22 +77,38 @@ let dswp ?(max_stages = 3) ?(min_hotness = 0.0) ?(min_work = 0.0) ?(check_races 
         (Dswp.run n m ~max_stages ~min_hotness ~min_work ~profile_free:no_profile
            ~skip:(gate check_races m) ()))
 
+(* Lane-group reorders are Permute_iterations-shaped: the widened loop
+   interleaves W iterations' event blocks inside each group (the scalar
+   epilogue stays exact, which the permute license subsumes). *)
+let vec ?(ncores = 4) ?(min_work = 0.0) ?(check_races = false) (n : Noelle.t) =
+  mk ~license:Obs.Permute_iterations "vec" (fun m ->
+      let outcomes = Vec.run n m ~ncores ~min_work ~skip:(gate check_races m) () in
+      let ok = List.length (List.filter (fun (_, r) -> Result.is_ok r) outcomes) in
+      Printf.sprintf "vectorized %d loops (%d declined)" ok
+        (List.length outcomes - ok))
+
 (** The standard stack: cleanups first, then the parallelizers from the
     most to the least restrictive form (DOALL, HELIX, DSWP), each picking
-    up loops its predecessors left sequential.  With [check_races] set,
-    every loop the static race detector flags is refused up front
+    up loops its predecessors left sequential.  With [vec] set the
+    vectorizer runs ahead of the parallelizers and claims the loops where
+    the SIMD model beats the DOALL model ([noelle-pipeline --vec]); the
+    rest fall through.  With [check_races] set, every loop the static
+    race detector flags is refused up front
     ([noelle-pipeline --check-races]).  With [no_profile] set the
     parallelizers plan from static {!Bounds} instead of embedded profile
     metadata ([noelle-pipeline --no-profile]). *)
 let standard ?ncores ?min_hotness ?min_work ?check_races ?no_profile
-    (n : Noelle.t) : Noelle.Pipeline.pass list =
-  [
-    licm n;
-    dead n;
-    doall ?ncores ?min_hotness ?min_work ?check_races ?no_profile n;
-    helix ?ncores ?min_hotness ?min_work ?check_races ?no_profile n;
-    dswp ?min_hotness ?min_work ?check_races ?no_profile n;
-  ]
+    ?vec:(enable_vec = false) (n : Noelle.t) : Noelle.Pipeline.pass list =
+  let vec_passes =
+    if enable_vec then [ vec ?ncores ?min_work ?check_races n ] else []
+  in
+  [ licm n; dead n ]
+  @ vec_passes
+  @ [
+      doall ?ncores ?min_hotness ?min_work ?check_races ?no_profile n;
+      helix ?ncores ?min_hotness ?min_work ?check_races ?no_profile n;
+      dswp ?min_hotness ?min_work ?check_races ?no_profile n;
+    ]
 
 (** Pipeline configuration for this stack: Psim-backed differential runs
     and analysis-cache invalidation on every module change.  With
@@ -116,7 +132,7 @@ let config ?(inputs = [ [] ]) ?(fuel = 3_000_000) ?(verify_meta = false)
     report; [m] holds the surviving (verified, behaviour-preserving)
     module. *)
 let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
-    ?check_races ?no_profile ?analysis_budget ?(verify_meta = false)
+    ?check_races ?no_profile ?vec ?analysis_budget ?(verify_meta = false)
     ?legacy_differential (m : Irmod.t) =
   Trace.span ~cat:"pipeline" "pipeline.standard" @@ fun () ->
   let n = Noelle.create ?analysis_budget m in
@@ -124,7 +140,7 @@ let run_standard ?inputs ?fuel ?inject_seed ?ncores ?min_hotness ?min_work
     Noelle.Pipeline.run
       ~config:(config ?inputs ?fuel ~verify_meta ?legacy_differential n)
       ?inject:inject_seed m
-      (standard ?ncores ?min_hotness ?min_work ?check_races ?no_profile n)
+      (standard ?ncores ?min_hotness ?min_work ?check_races ?no_profile ?vec n)
   in
   (* close the quarantine-and-recompute loop: artifacts the transaction
      commits invalidated get re-embedded fresh, so the module leaves the

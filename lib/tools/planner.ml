@@ -16,6 +16,7 @@ open Ir
 open Noelle
 
 type technique =
+  | Vec_t of int          (** vectorize with lane-group factor W *)
   | Doall_t
   | Helix_t
   | Dswp_t
@@ -29,6 +30,7 @@ type decision = {
 }
 
 let technique_to_string = function
+  | Vec_t w -> Printf.sprintf "VEC(W=%d)" w
   | Doall_t -> "DOALL"
   | Helix_t -> "HELIX"
   | Dswp_t -> "DSWP"
@@ -68,15 +70,37 @@ let decide_profiled (n : Noelle.t) (m : Irmod.t) (f : Func.t) (lp : Loop.t)
     pd_planned = planned;
   }
 
+(** The vec arm of the profile-free decision: probe the vectorizer's
+    legality plan, then let the {!Psim.Models} SIMD model (fed the
+    {!Bounds} trip count) pick W and arbitrate vectorize-vs-parallelize.
+    [None] means "leave it to the parallelizers". *)
+let vec_probe (n : Noelle.t) (f : Func.t) (lp : Loop.t) ~ncores : int option =
+  match Parutil.candidate_of n f lp with
+  | Error _ -> None
+  | Ok c -> (
+    match Vec.plan_of c with
+    | Error _ -> None
+    | Ok plan ->
+      let a = Vec.appraise n c plan ~ncores () in
+      let too_small = match a.Vec.a_trip with Some t -> t < 4 | None -> false in
+      let doall_beats =
+        Result.is_ok (Doall.plan_of c) && a.Vec.a_doall_time < a.Vec.a_vec_time
+      in
+      if too_small || doall_beats then None else Some a.Vec.a_width)
+
 (** The profile-free decision: gate from {!Parutil.profitable_static},
-    DOALL chunk clamped by the static trip bound. *)
-let decide_static (n : Noelle.t) (m : Irmod.t) (f : Func.t) (lp : Loop.t)
-    ~ncores ~min_work : decision =
+    DOALL chunk clamped by the static trip bound.  With [vec] set the
+    vectorizer arm runs first, mirroring the [--vec] pass stack. *)
+let decide_static ?(vec = false) (n : Noelle.t) (m : Irmod.t) (f : Func.t)
+    (lp : Loop.t) ~ncores ~min_work : decision =
   let ls = Loop.structure lp in
   let planned = Parutil.profitable_static n f ls ~min_work in
   let tech =
-    if planned then technique_of n m f lp
-    else Sequential "below static work bound"
+    if not planned then Sequential "below static work bound"
+    else
+      match (if vec then vec_probe n f lp ~ncores else None) with
+      | Some w -> Vec_t w
+      | None -> technique_of n m f lp
   in
   {
     pd_loop = Loop.id lp;
@@ -84,6 +108,7 @@ let decide_static (n : Noelle.t) (m : Irmod.t) (f : Func.t) (lp : Loop.t)
     pd_chunk =
       (match tech with
       | Doall_t -> Parutil.static_chunk n f ls ~ncores
+      | Vec_t w -> w
       | _ -> ncores);
     pd_planned = planned;
   }

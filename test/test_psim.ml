@@ -178,6 +178,73 @@ let test_models_sanity () =
      s > 1.5 && s < 2.2);
   checkb "doall min iters positive" (Psim.Models.doall_min_iters p ~work:10.0 > 0.0)
 
+let test_vec_masked_lane_waste () =
+  let p = { Psim.Models.default_vec_params with Psim.Models.width = 8 } in
+  let t d =
+    Psim.Models.vec_time p ~iters:10_000.0 ~work:10.0 ~divergence:d
+      ~strided_mem_ops:0 ~stride:1
+  in
+  (* masked-off lanes still occupy lane slots: more divergence, fewer
+     effective lanes, strictly more time *)
+  checkb "divergence shrinks effective width"
+    (t 0.0 < t 0.25 && t 0.25 < t 0.5 && t 0.5 < t 0.875);
+  (* a fully divergent body degenerates to one effective lane: no better
+     than scalar (and setup/issue overhead makes it worse) *)
+  checkb "full divergence degenerates to scalar"
+    (t 1.0 >= 10_000.0 *. 10.0);
+  (* gather/scatter penalty: strided accesses cost extra per group *)
+  let unit =
+    Psim.Models.vec_time p ~iters:10_000.0 ~work:10.0 ~divergence:0.0
+      ~strided_mem_ops:3 ~stride:1
+  and strided =
+    Psim.Models.vec_time p ~iters:10_000.0 ~work:10.0 ~divergence:0.0
+      ~strided_mem_ops:3 ~stride:4
+  in
+  checkb "non-unit stride pays gather penalty" (unit < strided)
+
+let test_vec_epilogue_cost () =
+  let p = { Psim.Models.default_vec_params with Psim.Models.width = 8 } in
+  let t iters =
+    Psim.Models.vec_time p ~iters ~work:10.0 ~divergence:0.0
+      ~strided_mem_ops:0 ~stride:1
+  in
+  (* trip mod W leftover iterations run at full scalar cost: going from
+     an exact multiple (80) to one extra iteration (81) costs a whole
+     scalar body, not 1/8th of a group *)
+  checkb "epilogue iterations cost scalar work" (t 81.0 -. t 80.0 >= 10.0);
+  (* at trip mod W = 0 there is no epilogue term: 80 iterations cost
+     exactly 10 groups + setup *)
+  let expected_exact = (10.0 *. ((8.0 *. 10.0 /. 8.0) +. 2.0)) +. 16.0 in
+  checkb "no epilogue at trip mod W = 0"
+    (Float.abs (t 80.0 -. expected_exact) < 1e-9)
+
+let test_vec_doall_crossover () =
+  let dp = { Psim.Models.default_params with Psim.Models.cores = 12 } in
+  let vp = { Psim.Models.default_vec_params with Psim.Models.width = 4 } in
+  let vec iters =
+    Psim.Models.vec_time vp ~iters ~work:20.0 ~divergence:0.0
+      ~strided_mem_ops:0 ~stride:1
+  and doall iters = Psim.Models.doall_time dp ~iters ~work:20.0 in
+  (* small trips: DOALL's spawn/join overhead (400 cycles x 12 cores)
+     swamps the parallel win while the vector setup is tiny *)
+  checkb "vec wins at small trips" (vec 64.0 < doall 64.0);
+  (* large trips: 12 cores beat 4 lanes once spawn cost is amortized *)
+  checkb "doall wins at large trips" (doall 100_000.0 < vec 100_000.0);
+  (* best_vec_width: wide lanes win long regular loops; the model never
+     picks a width above the allowed maximum *)
+  let best =
+    Psim.Models.best_vec_width Psim.Models.default_vec_params ~max_width:16
+      ~iters:(Some 10_000) ~work:20.0 ~divergence:0.0 ~strided_mem_ops:0
+      ~stride:1
+  in
+  checki "wide lanes win regular loops" 16 best;
+  let capped =
+    Psim.Models.best_vec_width Psim.Models.default_vec_params ~max_width:8
+      ~iters:(Some 10_000) ~work:20.0 ~divergence:0.0 ~strided_mem_ops:0
+      ~stride:1
+  in
+  checki "width capped for 64-bit element bodies" 8 capped
+
 let test_nested_sections () =
   (* a parallel section inside a function called from a task *)
   let src =
@@ -221,5 +288,8 @@ let suite =
     tc "deadlock detected" test_deadlock_detected;
     tc "clock accounting" test_clock_advances_with_latency;
     tc "analytic models" test_models_sanity;
+    tc "vec model: masked-lane waste" test_vec_masked_lane_waste;
+    tc "vec model: epilogue cost" test_vec_epilogue_cost;
+    tc "vec model: crossover vs DOALL" test_vec_doall_crossover;
     tc "core-count scaling" test_nested_sections;
   ]

@@ -567,8 +567,144 @@ int main() {
   let got, _ = run_parallel m in
   checks "still correct" expected got
 
+(* ------------------------------------------------------------------ *)
+(* VEC — predicated loop vectorization (DESIGN.md §16)                 *)
+(* ------------------------------------------------------------------ *)
+
+let vec_ok results = List.filter_map (fun (_, r) -> Result.to_option r) results
+
+let test_vec_corpus () =
+  each_kernel (fun k m ->
+      let expected = output ~fuel:k.Bsuite.Kernels.fuel m in
+      let n = Noelle.create m in
+      ignore (Ntools.Vec.run n m ~only_best:false ());
+      verifies ("vec " ^ k.Bsuite.Kernels.kname) m;
+      checks (k.Bsuite.Kernels.kname ^ ": VEC preserves output") expected
+        (output ~fuel:(4 * k.Bsuite.Kernels.fuel) m))
+
+let test_vec_straightline () =
+  (* trip 10 is not a multiple of any lane width: the widened loop takes
+     the first 10/W groups and the scalar epilogue the remainder *)
+  let src =
+    {|
+int a[10];
+int main() {
+  float s = 0.0;
+  for (int i = 0; i < 10; i++) {
+    a[i] = 3 * i + 1;
+    s = s + 0.5 * i;
+  }
+  for (int i = 0; i < 10; i++) print(a[i]);
+  print_float(s);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  let expected = output m in
+  let n = Noelle.create m in
+  let ok =
+    vec_ok (Ntools.Vec.run n m ~only_best:false ~min_work:0.0 ())
+  in
+  checkb "at least one loop vectorized" (ok <> []);
+  let s = List.hd ok in
+  checkb "lane-group factor is a real width" (s.Ntools.Vec.width >= 2);
+  checkb "straight-line body needs no predication"
+    (not s.Ntools.Vec.if_converted);
+  verifies "vec straightline" m;
+  checks "output preserved across epilogue split" expected (output m)
+
+let test_vec_if_converts_divergent () =
+  (* dijkstra-style conditional minimum update: the body diverges, so
+     vectorization must go through if-conversion (masked store) *)
+  let src =
+    {|
+int d[64];
+int main() {
+  for (int i = 0; i < 64; i++) d[i] = 1000 - 7 * i;
+  for (int j = 0; j < 64; j++) {
+    int nd = 3 * j + 10;
+    if (nd < d[j]) { d[j] = nd; }
+  }
+  int s = 0;
+  for (int j = 0; j < 64; j++) s += d[j];
+  print(s);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  let expected = output m in
+  let n = Noelle.create m in
+  let ok =
+    vec_ok (Ntools.Vec.run n m ~only_best:false ~min_work:0.0 ())
+  in
+  checkb "divergent loop vectorized"
+    (List.exists (fun (s : Ntools.Vec.stats) -> s.Ntools.Vec.if_converted) ok);
+  checkb "masked the conditional store"
+    (List.exists (fun (s : Ntools.Vec.stats) -> s.Ntools.Vec.masked > 0) ok);
+  verifies "vec if-conversion" m;
+  checks "output preserved under predication" expected (output m)
+
+let test_vec_rejects_divergent_call () =
+  (* a print on one arm is an observable side effect that predication
+     cannot mask: the loop must be rejected, not silently reordered *)
+  let src =
+    {|
+int main() {
+  for (int i = 0; i < 100; i++) {
+    if (i % 3 == 0) { print(i); }
+  }
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  let n = Noelle.create m in
+  let results = Ntools.Vec.run n m ~only_best:false ~min_work:0.0 () in
+  checkb "divergent print rejected" (vec_ok results = []);
+  checkb "rejection is reported"
+    (List.exists (fun (_, r) -> Result.is_error r) results)
+
+let test_vec_rejects_sequential () =
+  (* loop-carried recurrence: lanes are not independent *)
+  let src =
+    {|
+int main() {
+  int x = 1;
+  for (int i = 0; i < 50; i++) { x = (x * 3 + i) % 1000; }
+  print(x);
+  return 0;
+}
+|}
+  in
+  let m = compile src in
+  let n = Noelle.create m in
+  let results = Ntools.Vec.run n m ~only_best:false ~min_work:0.0 () in
+  checkb "recurrence not vectorized" (vec_ok results = [])
+
+let test_vec_trace_exact () =
+  (* lane-serial groups + address-masked predication keep the observable
+     event stream exact — not merely equivalent under a reorder license *)
+  let k = Option.get (Bsuite.Kernels.find "dijkstra") in
+  let m_ref = Bsuite.Kernels.compile k in
+  let _, _, reference = Obs.run ~fuel:k.Bsuite.Kernels.fuel m_ref in
+  let m = Bsuite.Kernels.compile k in
+  let n = Noelle.create m in
+  ignore (Ntools.Vec.run n m ~only_best:false ~min_work:0.0 ());
+  let _, _, candidate = Obs.run ~fuel:(4 * k.Bsuite.Kernels.fuel) m in
+  match Obs.check ~license:Obs.Exact ~reference ~candidate with
+  | Ok () -> ()
+  | Error (msg, _) -> Alcotest.failf "vec trace not exact: %s" msg
+
 let suite_extra =
   [
     tc "PERS memory-object cloning" test_perspective_privatization;
     tc "PERS rejects live scratch" test_privatization_rejects_live_scratch;
+    tc "VEC corpus semantics" test_vec_corpus;
+    tc "VEC widened loop + epilogue" test_vec_straightline;
+    tc "VEC if-converts divergence" test_vec_if_converts_divergent;
+    tc "VEC rejects divergent print" test_vec_rejects_divergent_call;
+    tc "VEC rejects recurrences" test_vec_rejects_sequential;
+    tc "VEC trace-exact" test_vec_trace_exact;
   ]
